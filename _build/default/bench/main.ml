@@ -1,0 +1,246 @@
+(* Benchmark harness: one Bechamel test per experiment in EXPERIMENTS.md.
+
+   The paper is a theory paper, so its "tables and figures" are
+   constructions and bounds; each bench regenerates one of them —
+   building the lower-bound families, computing view refinements and
+   election indexes, producing oracle advice, and running the
+   minimum-time algorithms through the LOCAL simulator.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Shades_graph
+open Shades_views
+open Shades_election
+open Shades_families
+
+let stage = Staged.stage
+
+(* --- E1: index hierarchy on random graphs --- *)
+
+let bench_index =
+  let g = Gen.random (Random.State.make [| 7 |]) 7 ~extra_edges:3 in
+  Test.make_grouped ~name:"index"
+    [
+      Test.make ~name:"hierarchy_n7" (stage (fun () -> Index.all g));
+      Test.make ~name:"psi_s_n7" (stage (fun () -> Index.psi_s g));
+    ]
+
+(* --- views and refinement (machinery behind every experiment) --- *)
+
+let bench_views =
+  let g = Gen.random (Random.State.make [| 11 |]) 200 ~extra_edges:100 in
+  let u41 =
+    let p = { Uclass.delta = 4; k = 1 } in
+    (Uclass.build p ~sigma:(Uclass.uniform_sigma p 1)).Uclass.graph
+  in
+  Test.make_grouped ~name:"views"
+    [
+      Test.make ~name:"refine_fixpoint_n200"
+        (stage (fun () -> Refinement.fixpoint g));
+      Test.make ~name:"refine_fixpoint_u41"
+        (stage (fun () -> Refinement.fixpoint u41));
+      Test.make ~name:"tree_depth3_n200"
+        (stage (fun () -> View_tree.of_graph g 0 ~depth:3));
+      Test.make ~name:"canonical_key_depth3"
+        (let t = View_tree.of_graph g 0 ~depth:3 in
+         stage (fun () -> View_tree.canonical_key t));
+    ]
+
+(* --- E4/E6: class G constructions and Thm 2.2 advice --- *)
+
+let bench_gclass =
+  let g42 = (Gclass.build { Gclass.delta = 4; k = 2 } ~i:3).Gclass.graph in
+  Test.make_grouped ~name:"g_class"
+    [
+      Test.make ~name:"build_d4k2_i3"
+        (stage (fun () -> Gclass.build { Gclass.delta = 4; k = 2 } ~i:3));
+      Test.make ~name:"build_d5k1_i7"
+        (stage (fun () -> Gclass.build { Gclass.delta = 5; k = 1 } ~i:7));
+      Test.make ~name:"thm22_oracle_d4k2"
+        (stage (fun () -> Select_by_view.scheme.Scheme.oracle g42));
+      Test.make ~name:"thm22_full_run_d4k2"
+        (stage (fun () -> Scheme.run Select_by_view.scheme g42));
+    ]
+
+(* --- E11/E14: class U constructions and Lemma 3.9 PE runs --- *)
+
+let bench_uclass =
+  let p = { Uclass.delta = 4; k = 1 } in
+  let u = Uclass.build p ~sigma:(Uclass.uniform_sigma p 2) in
+  let advice = Uclass.pe_scheme.Scheme.oracle u.Uclass.graph in
+  Test.make_grouped ~name:"u_class"
+    [
+      Test.make ~name:"build_d4k1"
+        (stage (fun () -> Uclass.build p ~sigma:(Uclass.uniform_sigma p 2)));
+      Test.make ~name:"pe_oracle_d4k1"
+        (stage (fun () -> Uclass.pe_scheme.Scheme.oracle u.Uclass.graph));
+      Test.make ~name:"pe_run_d4k1"
+        (stage (fun () ->
+             Scheme.run_with_advice Uclass.pe_scheme u.Uclass.graph ~advice));
+      Test.make ~name:"pe_verify_d4k1"
+        (let r =
+           Scheme.run_with_advice Uclass.pe_scheme u.Uclass.graph ~advice
+         in
+         stage (fun () -> Verify.port_election u.Uclass.graph r.Scheme.outputs));
+    ]
+
+(* --- E16-E22: layers, component H, class J --- *)
+
+let bench_jclass =
+  let p = { Jclass.mu = 3; k = 4; z_eff = 3 } in
+  let j = Jclass.build p ~y:(Jclass.y_zero p) in
+  Test.make_grouped ~name:"j_class"
+    [
+      Test.make ~name:"layer_l5_mu3"
+        (stage (fun () ->
+             let proto = Proto.create () in
+             let _ = Layers.add proto ~mu:3 ~m:5 in
+             Proto.build proto));
+      Test.make ~name:"component_h_mu3_k4"
+        (stage (fun () -> Component.standalone ~mu:3 ~k:4));
+      Test.make ~name:"build_j_mu3_k4_z3"
+        (stage (fun () -> Jclass.build p ~y:(Jclass.y_zero p)));
+      Test.make ~name:"cppe_assignment"
+        (stage (fun () -> Jclass.cppe_assignment j));
+      Test.make ~name:"cppe_verify"
+        (let answers = Jclass.cppe_assignment j in
+         stage (fun () ->
+             Verify.complete_port_path_election j.Jclass.graph answers));
+    ]
+
+(* --- E10/E15: fooling runs --- *)
+
+let bench_fooling =
+  let ga = Gclass.build { Gclass.delta = 4; k = 1 } ~i:2 in
+  let gb = Gclass.build { Gclass.delta = 4; k = 1 } ~i:7 in
+  let advice_g = Select_by_view.scheme.Scheme.oracle ga.Gclass.graph in
+  Test.make_grouped ~name:"fooling"
+    [
+      Test.make ~name:"selection_fooled_run"
+        (stage (fun () ->
+             Scheme.run_with_advice Select_by_view.scheme gb.Gclass.graph
+               ~advice:advice_g));
+    ]
+
+(* --- simulator throughput --- *)
+
+let bench_sim =
+  let g = Gen.random (Random.State.make [| 13 |]) 500 ~extra_edges:250 in
+  Test.make_grouped ~name:"sim"
+    [
+      Test.make ~name:"full_info_3rounds_n500"
+        (stage (fun () ->
+             Shades_localsim.Full_info.run g ~rounds:3
+               ~advice:Shades_bits.Bitstring.empty
+               ~decide:(fun ~advice:_ v -> v.View_tree.degree)));
+    ]
+
+(* --- E25-E29 extensions: reconstruction, tradeoff, exact advice --- *)
+
+let bench_extensions =
+  let g = Gen.random (Random.State.make [| 21 |]) 40 ~extra_edges:20 in
+  let n = Port_graph.order g in
+  let ctx = Cview.create_ctx () in
+  let deep = Cview.of_graph ctx g 0 ~depth:(Reconstruct.rounds_needed ~n) in
+  let g_small = Gen.random (Random.State.make [| 22 |]) 10 ~extra_edges:5 in
+  let p = { Uclass.delta = 4; k = 1 } in
+  let ua = (Uclass.build p ~sigma:(Uclass.uniform_sigma p 1)).Uclass.graph in
+  let ub = (Uclass.build p ~sigma:(Uclass.uniform_sigma p 2)).Uclass.graph in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"cview_deep_n40"
+        (stage (fun () ->
+             let ctx = Cview.create_ctx () in
+             Cview.of_graph ctx g 0 ~depth:(Reconstruct.rounds_needed ~n)));
+      Test.make ~name:"reconstruct_n40"
+        (stage (fun () -> Reconstruct.graph_of_cview ctx deep ~n));
+      Test.make ~name:"canonical_order_n40"
+        (stage (fun () -> Refinement.canonical_order g));
+      Test.make ~name:"canonical_bfs_n40"
+        (stage (fun () -> Port_graph.canonical g));
+      Test.make ~name:"size_advice_cppe_n10"
+        (stage (fun () ->
+             Size_advice.run Size_advice.complete_port_path_election g_small));
+      Test.make ~name:"async_flooding_n40"
+        (stage (fun () ->
+             Shades_localsim.Async_engine.run g
+               ~advice:Shades_bits.Bitstring.empty
+               {
+                 Shades_localsim.Engine.init =
+                   (fun ~degree ~advice:_ -> (degree, 3));
+                 send = (fun (_, l) ~port:_ -> if l > 0 then Some () else None);
+                 step = (fun (d, l) _ -> (d, l - 1));
+                 output = (fun (d, l) -> if l <= 0 then Some d else None);
+               }));
+      Test.make ~name:"pe_sharable_u41"
+        (stage (fun () -> Min_advice.pe_sharable ~depth:1 ua ub));
+      Test.make ~name:"labelings_path5"
+        (stage (fun () ->
+             Gen.all_labelings 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ]));
+    ]
+
+(* --- E30: labeled baselines --- *)
+
+let bench_labeled =
+  let module L = Shades_labeled.Model in
+  let g = Gen.oriented_ring 64 in
+  let desc = Array.init 64 (fun i -> 64 - i) in
+  Test.make_grouped ~name:"labeled"
+    [
+      Test.make ~name:"lcr_worst_n64"
+        (stage (fun () ->
+             L.run g ~labels:desc Shades_labeled.Chang_roberts.algorithm));
+      Test.make ~name:"hs_n64"
+        (stage (fun () ->
+             L.run g ~labels:desc
+               Shades_labeled.Hirschberg_sinclair.algorithm));
+      Test.make ~name:"peterson_n64"
+        (stage (fun () ->
+             L.run g ~labels:desc Shades_labeled.Peterson.algorithm));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"shades"
+    [
+      bench_index; bench_views; bench_gclass; bench_uclass; bench_jclass;
+      bench_fooling; bench_sim; bench_extensions; bench_labeled;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* Plain-text report: time per run, by test. *)
+  Printf.printf "%-48s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | _ -> nan
+      in
+      let pretty =
+        if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-48s %16s\n" name pretty)
+    rows

@@ -1,0 +1,1 @@
+bin/shades_cli.mli:

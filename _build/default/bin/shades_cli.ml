@@ -1,0 +1,362 @@
+(* Command-line interface: inspect port-labeled graphs, views, election
+   indexes, run advice schemes, and build the paper's graph families.
+
+   Examples:
+     shades_cli index -g path:5
+     shades_cli views -g ring:6 -v 0 -d 2
+     shades_cli elect -g star:5 -t cppe
+     shades_cli family-g --delta 4 -k 2 -i 3
+     shades_cli family-u --delta 4 -k 1 --sigma 2
+     shades_cli family-j --mu 3 -k 4 --zeff 3 *)
+
+open Cmdliner
+open Shades_graph
+open Shades_views
+open Shades_election
+open Shades_families
+
+let parse_graph spec =
+  match String.split_on_char ':' spec with
+  | [ "ring"; n ] -> Gen.oriented_ring (int_of_string n)
+  | [ "path"; n ] -> Gen.path (int_of_string n)
+  | [ "star"; n ] -> Gen.star (int_of_string n)
+  | [ "clique"; n ] -> Gen.clique (int_of_string n)
+  | [ "random"; args ] -> (
+      match String.split_on_char ',' args with
+      | [ seed; n; extra ] ->
+          Gen.random
+            (Random.State.make [| int_of_string seed |])
+            (int_of_string n) ~extra_edges:(int_of_string extra)
+      | _ -> failwith "random:<seed>,<n>,<extra-edges>")
+  | [ "line-ports"; ports ] ->
+      let ps = String.split_on_char ',' ports |> List.map int_of_string in
+      let rec pair = function
+        | [] -> []
+        | p :: q :: rest -> (p, q) :: pair rest
+        | [ _ ] -> failwith "line-ports needs an even number of ports"
+      in
+      Gen.path_with_ports (pair ps)
+  | _ ->
+      failwith
+        "graph spec: ring:<n> | path:<n> | star:<n> | clique:<n> | \
+         random:<seed>,<n>,<extra> | line-ports:<p1>,<q1>,..."
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"SPEC" ~doc:"Graph to operate on.")
+
+let pp_psi = function Some k -> string_of_int k | None -> "infinite"
+
+(* --- index --- *)
+
+let index_cmd =
+  let run spec =
+    let g = parse_graph spec in
+    Printf.printf "n=%d m=%d max-degree=%d feasible=%b\n" (Port_graph.order g)
+      (Port_graph.size g) (Port_graph.max_degree g) (Refinement.feasible g);
+    List.iter
+      (fun (kind, psi) ->
+        Printf.printf "psi_%-4s = %s\n" (Task.kind_to_string kind) (pp_psi psi))
+      (Index.all g)
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Compute the four election indexes of a graph.")
+    Term.(const run $ graph_arg)
+
+(* --- views --- *)
+
+let views_cmd =
+  let run spec v depth =
+    let g = parse_graph spec in
+    let view = View_tree.of_graph g v ~depth in
+    Format.printf "B^%d(%d) = %a@." depth v View_tree.pp view;
+    Format.printf "nodes in view: %d; encoded: %d bits@."
+      (View_tree.node_count view)
+      (Shades_bits.Bitstring.length (View_tree.encode view));
+    let t = Refinement.compute g ~depth in
+    Format.printf "view classes at depth %d: %d; unique nodes: %s@." depth
+      (Refinement.class_count t ~depth)
+      (String.concat ","
+         (List.map string_of_int (Refinement.singletons t ~depth)))
+  in
+  let v_arg =
+    Arg.(value & opt int 0 & info [ "v"; "vertex" ] ~docv:"V" ~doc:"Vertex.")
+  in
+  let d_arg =
+    Arg.(value & opt int 1 & info [ "d"; "depth" ] ~docv:"D" ~doc:"Depth.")
+  in
+  Cmd.v
+    (Cmd.info "views" ~doc:"Print a node's augmented truncated view.")
+    Term.(const run $ graph_arg $ v_arg $ d_arg)
+
+(* --- elect --- *)
+
+let elect_cmd =
+  let run spec task =
+    let g = parse_graph spec in
+    let report verify pp r =
+      match verify g r.Scheme.outputs with
+      | Ok leader ->
+          Printf.printf "leader: node %d (%d rounds, %d advice bits)\n" leader
+            r.Scheme.rounds r.Scheme.advice_bits;
+          Array.iteri
+            (fun v o -> Printf.printf "  node %d -> %s\n" v (pp o))
+            r.Scheme.outputs
+      | Error e -> Printf.printf "FAILED: %s\n" e
+    in
+    let pp_pairs pairs =
+      "["
+      ^ String.concat ";"
+          (List.map (fun (p, q) -> Printf.sprintf "(%d,%d)" p q) pairs)
+      ^ "]"
+    in
+    let pp_answer pp_payload = function
+      | Task.Leader -> "leader"
+      | Task.Follower x -> pp_payload x
+    in
+    match String.lowercase_ascii task with
+    | "s" ->
+        report Verify.selection
+          (pp_answer (fun () -> "non-leader"))
+          (Scheme.run Select_by_view.scheme g)
+    | "pe" ->
+        report Verify.port_election
+          (pp_answer string_of_int)
+          (Scheme.run Map_advice.port_election g)
+    | "ppe" ->
+        report Verify.port_path_election
+          (pp_answer (fun ps ->
+               "[" ^ String.concat ";" (List.map string_of_int ps) ^ "]"))
+          (Scheme.run Map_advice.port_path_election g)
+    | "cppe" ->
+        report Verify.complete_port_path_election (pp_answer pp_pairs)
+          (Scheme.run Map_advice.complete_port_path_election g)
+    | t -> failwith ("unknown task: " ^ t)
+  in
+  let task_arg =
+    Arg.(
+      value & opt string "s"
+      & info [ "t"; "task" ] ~docv:"TASK" ~doc:"One of s, pe, ppe, cppe.")
+  in
+  Cmd.v
+    (Cmd.info "elect"
+       ~doc:
+         "Run a minimum-time leader election scheme through the LOCAL \
+          simulator.")
+    Term.(const run $ graph_arg $ task_arg)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let run spec =
+    let g = parse_graph spec in
+    print_string (Port_graph.to_dot g)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the graph in Graphviz DOT format.")
+    Term.(const run $ graph_arg)
+
+(* --- quotient --- *)
+
+let quotient_cmd =
+  let run spec =
+    let g = parse_graph spec in
+    Format.printf "%a@." Quotient.pp (Quotient.of_graph g);
+    Format.printf "feasible: %b@."
+      (Quotient.is_trivial (Quotient.of_graph g))
+  in
+  Cmd.v
+    (Cmd.info "quotient"
+       ~doc:"Print the quotient (minimal base) of an anonymous network.")
+    Term.(const run $ graph_arg)
+
+(* --- tradeoff --- *)
+
+let tradeoff_cmd =
+  let run spec =
+    let g = parse_graph spec in
+    Printf.printf "n=%d; comparing minimum-time vs 2(n-1)-round schemes:\n"
+      (Port_graph.order g);
+    let report name rounds bits ok =
+      Printf.printf "  %-28s %6d rounds %10d advice bits  %s\n" name rounds
+        bits
+        (if ok then "ok" else "FAILED")
+    in
+    let s_min = Scheme.run Select_by_view.scheme g in
+    report "S (Thm 2.2, min time)" s_min.Scheme.rounds s_min.Scheme.advice_bits
+      (Result.is_ok (Verify.selection g s_min.Scheme.outputs));
+    let s_rel = Size_advice.run Size_advice.selection g in
+    report "S (size advice)" s_rel.Size_advice.rounds
+      s_rel.Size_advice.advice_bits
+      (Result.is_ok (Verify.selection g s_rel.Size_advice.outputs));
+    let c_min = Scheme.run Map_advice.complete_port_path_election g in
+    report "CPPE (map advice, min time)" c_min.Scheme.rounds
+      c_min.Scheme.advice_bits
+      (Result.is_ok (Verify.complete_port_path_election g c_min.Scheme.outputs));
+    let c_rel = Size_advice.run Size_advice.complete_port_path_election g in
+    report "CPPE (size advice)" c_rel.Size_advice.rounds
+      c_rel.Size_advice.advice_bits
+      (Result.is_ok
+         (Verify.complete_port_path_election g c_rel.Size_advice.outputs))
+  in
+  Cmd.v
+    (Cmd.info "tradeoff"
+       ~doc:"Compare minimum-time advice against the 2(n-1)-round schemes.")
+    Term.(const run $ graph_arg)
+
+(* --- labelings --- *)
+
+let labelings_cmd =
+  let run skeleton =
+    let n, edges =
+      match String.split_on_char ':' skeleton with
+      | [ "path"; n ] ->
+          let n = int_of_string n in
+          (n, List.init (n - 1) (fun i -> (i, i + 1)))
+      | [ "cycle"; n ] ->
+          let n = int_of_string n in
+          (n, List.init n (fun i -> (i, (i + 1) mod n)))
+      | [ "star"; n ] ->
+          let n = int_of_string n in
+          (n, List.init (n - 1) (fun i -> (0, i + 1)))
+      | _ -> failwith "skeleton: path:<n> | cycle:<n> | star:<n>"
+    in
+    let labelings = Gen.all_labelings n edges in
+    let feas = ref 0 in
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun g ->
+        match (Index.psi_s g, Index.psi_cppe g) with
+        | Some s, Some c ->
+            incr feas;
+            Hashtbl.replace tally (s, c)
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally (s, c)))
+        | _ -> ())
+      labelings;
+    Printf.printf "%s: %d labelings, %d feasible\n" skeleton
+      (List.length labelings) !feas;
+    Hashtbl.iter
+      (fun (s, c) count ->
+        Printf.printf "  psi_S=%d psi_CPPE=%d: %d labelings\n" s c count)
+      tally
+  in
+  let skel_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "skeleton" ] ~docv:"SKEL"
+          ~doc:"Unlabeled skeleton: path:<n>, cycle:<n>, or star:<n>.")
+  in
+  Cmd.v
+    (Cmd.info "labelings"
+       ~doc:
+         "Sweep every port labeling of a skeleton and tally feasibility \
+          and indexes.")
+    Term.(const run $ skel_arg)
+
+(* --- families --- *)
+
+let delta_arg =
+  Arg.(value & opt int 4 & info [ "delta" ] ~docv:"DELTA" ~doc:"Max degree.")
+
+let k_arg =
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Election index.")
+
+let family_g_cmd =
+  let run delta k i =
+    let t = Gclass.build { Gclass.delta; k } ~i in
+    let g = t.Gclass.graph in
+    Printf.printf "G_%d of G_{%d,%d}: n=%d m=%d\n" i delta k
+      (Port_graph.order g) (Port_graph.size g);
+    Printf.printf "class size: %s graphs\n"
+      (match Gclass.num_graphs { Gclass.delta; k } with
+      | Some c -> string_of_int c
+      | None ->
+          Printf.sprintf "2^%.1f" (Gclass.num_graphs_log2 { Gclass.delta; k }));
+    Printf.printf "psi_S = %s (expected %d)\n"
+      (pp_psi (Refinement.min_unique_depth g))
+      k;
+    let r = Scheme.run Select_by_view.scheme g in
+    Printf.printf "Thm 2.2 scheme: %d rounds, %d advice bits, leader %s\n"
+      r.Scheme.rounds r.Scheme.advice_bits
+      (match Verify.selection g r.Scheme.outputs with
+      | Ok l -> Printf.sprintf "%d (r_{%d,2}=%d)" l i t.Gclass.special_root
+      | Error e -> "FAILED: " ^ e)
+  in
+  let i_arg =
+    Arg.(value & opt int 2 & info [ "i" ] ~docv:"I" ~doc:"Graph index.")
+  in
+  Cmd.v
+    (Cmd.info "family-g" ~doc:"Build a graph of the class G (Section 2.2).")
+    Term.(const run $ delta_arg $ k_arg $ i_arg)
+
+let family_u_cmd =
+  let run delta k s =
+    let p = { Uclass.delta; k } in
+    let t = Uclass.build p ~sigma:(Uclass.uniform_sigma p s) in
+    let g = t.Uclass.graph in
+    Printf.printf "G_sigma of U_{%d,%d} (sigma=%d uniform): n=%d m=%d\n" delta
+      k s (Port_graph.order g) (Port_graph.size g);
+    Printf.printf "psi_S = %s (expected %d)\n"
+      (pp_psi (Refinement.min_unique_depth g))
+      k;
+    let r = Scheme.run Uclass.pe_scheme g in
+    Printf.printf "Lemma 3.9 PE scheme: %d rounds, %d advice bits, %s\n"
+      r.Scheme.rounds r.Scheme.advice_bits
+      (match Verify.port_election g r.Scheme.outputs with
+      | Ok l -> Printf.sprintf "leader %d" l
+      | Error e -> "FAILED: " ^ e)
+  in
+  let s_arg =
+    Arg.(value & opt int 1 & info [ "sigma" ] ~docv:"S" ~doc:"Uniform sigma.")
+  in
+  Cmd.v
+    (Cmd.info "family-u" ~doc:"Build a graph of the class U (Section 3).")
+    Term.(const run $ delta_arg $ k_arg $ s_arg)
+
+let family_j_cmd =
+  let run mu k z_eff =
+    let p = { Jclass.mu; k; z_eff } in
+    let t = Jclass.build p ~y:(Jclass.y_zero p) in
+    let g = t.Jclass.graph in
+    Printf.printf "scaled J_{%d,%d} with 2^%d gadgets: n=%d m=%d (full z=%d)\n"
+      mu k z_eff (Port_graph.order g) (Port_graph.size g) (Jclass.z ~mu ~k);
+    let answers = Jclass.cppe_assignment t in
+    Printf.printf "Lemma 4.8 CPPE assignment: %s\n"
+      (match Verify.complete_port_path_election g answers with
+      | Ok l -> Printf.sprintf "verified, leader = rho_0 = %d" l
+      | Error e -> "FAILED: " ^ e)
+  in
+  let mu_arg =
+    Arg.(value & opt int 3 & info [ "mu" ] ~docv:"MU" ~doc:"Arity (>= 3).")
+  in
+  let k4_arg =
+    Arg.(
+      value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Election index (>= 4).")
+  in
+  let z_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "zeff" ] ~docv:"Z"
+          ~doc:"Chain 2^zeff gadgets (scaled template).")
+  in
+  Cmd.v
+    (Cmd.info "family-j"
+       ~doc:"Build a (scaled) graph of the class J (Section 4).")
+    Term.(const run $ mu_arg $ k4_arg $ z_arg)
+
+let () =
+  let doc =
+    "Four shades of deterministic leader election in anonymous networks"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "shades_cli" ~doc)
+          [
+            index_cmd; views_cmd; elect_cmd; dot_cmd; quotient_cmd;
+            tradeoff_cmd; labelings_cmd; family_g_cmd; family_u_cmd;
+            family_j_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/advice_separation.ml: Gclass Jclass List Printf Scheme Select_by_view Shades_bits Shades_election Shades_families Shades_graph Uclass

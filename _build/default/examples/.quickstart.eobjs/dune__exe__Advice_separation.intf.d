@@ -1,0 +1,1 @@
+examples/advice_separation.mli:

@@ -1,0 +1,1 @@
+examples/fooling_demo.ml: Array Gclass Jclass Printf Scheme Select_by_view Shades_election Shades_families Uclass Verify

@@ -1,0 +1,1 @@
+examples/labeled_rings.ml: Array Chang_roberts Gen Hirschberg_sinclair List Model Peterson Printf Random Refinement Shades_graph Shades_labeled Shades_views

@@ -1,0 +1,1 @@
+examples/labeled_rings.mli:

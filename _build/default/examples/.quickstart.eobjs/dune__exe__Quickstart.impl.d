@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gen Index List Map_advice Port_graph Printf Refinement Scheme Select_by_view Shades_election Shades_graph Shades_views String Task Verify View_tree

@@ -1,0 +1,1 @@
+examples/ring_census.ml: Gen Index List Port_graph Printf Random Refinement Shades_election Shades_graph Shades_views String

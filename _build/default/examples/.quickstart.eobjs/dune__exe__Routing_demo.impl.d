@@ -1,0 +1,1 @@
+examples/routing_demo.ml: Array Gen List Map_advice Port_graph Printf Random Scheme Shades_election Shades_graph Task Verify

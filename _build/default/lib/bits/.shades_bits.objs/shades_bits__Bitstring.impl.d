@@ -1,0 +1,1 @@
+lib/bits/bitstring.ml: Array Bytes Char Format List Stdlib String

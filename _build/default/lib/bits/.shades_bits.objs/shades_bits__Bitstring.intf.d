@@ -1,0 +1,1 @@
+lib/bits/bitstring.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/bits/writer.ml: Bitstring Bytes Char

@@ -1,0 +1,1 @@
+lib/bits/writer.mli: Bitstring

@@ -1,0 +1,85 @@
+(* Bits are packed MSB-first into bytes: bit [i] lives in byte [i/8] at
+   mask [0x80 lsr (i mod 8)].  All operations preserve the invariant that
+   padding bits beyond [len] in the last byte are zero, so [equal] and
+   [compare] can work byte-wise after comparing lengths. *)
+
+type t = { bytes : Bytes.t; len : int }
+
+let empty = { bytes = Bytes.empty; len = 0 }
+
+let length b = b.len
+
+let byte_count len = (len + 7) / 8
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Bitstring.get";
+  let c = Char.code (Bytes.get b.bytes (i / 8)) in
+  c land (0x80 lsr (i mod 8)) <> 0
+
+let make len f =
+  let bytes = Bytes.make (byte_count len) '\000' in
+  for i = 0 to len - 1 do
+    if f i then begin
+      let j = i / 8 in
+      let c = Char.code (Bytes.get bytes j) in
+      Bytes.set bytes j (Char.chr (c lor (0x80 lsr (i mod 8))))
+    end
+  done;
+  { bytes; len }
+
+let of_bools l =
+  let arr = Array.of_list l in
+  make (Array.length arr) (fun i -> arr.(i))
+
+let of_packed src len =
+  if len < 0 || byte_count len > Bytes.length src then
+    invalid_arg "Bitstring.of_packed";
+  let bytes = Bytes.sub src 0 (byte_count len) in
+  (* Clear padding bits so byte-wise equal/compare stay valid. *)
+  if len mod 8 <> 0 then begin
+    let last = byte_count len - 1 in
+    let keep = 0xff lsl (8 - (len mod 8)) land 0xff in
+    Bytes.set bytes last (Char.chr (Char.code (Bytes.get bytes last) land keep))
+  end;
+  { bytes; len }
+
+let to_bools b = List.init b.len (get b)
+
+let of_string s =
+  make (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | _ -> invalid_arg "Bitstring.of_string")
+
+let to_string b = String.init b.len (fun i -> if get b i then '1' else '0')
+
+let append a b =
+  if a.len = 0 then b
+  else if b.len = 0 then a
+  else
+    make (a.len + b.len) (fun i ->
+        if i < a.len then get a i else get b (i - a.len))
+
+let concat l = List.fold_left append empty l
+
+let sub b pos len =
+  if pos < 0 || len < 0 || pos + len > b.len then invalid_arg "Bitstring.sub";
+  make len (fun i -> get b (pos + i))
+
+let equal a b = a.len = b.len && Bytes.equal a.bytes b.bytes
+
+let compare a b =
+  (* Lexicographic on bits, with a strict prefix ordered first. *)
+  let n = min a.len b.len in
+  let rec go i =
+    if i = n then Stdlib.compare a.len b.len
+    else
+      match (get a i, get b i) with
+      | false, true -> -1
+      | true, false -> 1
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let pp fmt b = Format.pp_print_string fmt (to_string b)

@@ -1,0 +1,52 @@
+(** Immutable sequences of bits.
+
+    Advice in the paper is a single binary string given to every node; its
+    length is the complexity measure, so this module tracks lengths exactly
+    (in bits, not bytes). Bits are indexed from 0; the textual form writes
+    bit 0 first. *)
+
+type t
+
+(** The empty bitstring. *)
+val empty : t
+
+(** Number of bits. *)
+val length : t -> int
+
+(** [get b i] is bit [i]. @raise Invalid_argument if out of range. *)
+val get : t -> int -> bool
+
+(** [of_bools l] has the bits of [l] in order. *)
+val of_bools : bool list -> t
+
+(** [of_packed bytes len] adopts [len] bits packed MSB-first in [bytes]
+    (copied; trailing padding bits beyond [len] are cleared).  The fast
+    construction path for {!Writer}. *)
+val of_packed : Bytes.t -> int -> t
+
+(** [to_bools b] lists the bits in order. *)
+val to_bools : t -> bool list
+
+(** [of_string "0110"] parses a textual bitstring.
+    @raise Invalid_argument on characters other than ['0']/['1']. *)
+val of_string : string -> t
+
+(** Textual form, e.g. ["0110"]. *)
+val to_string : t -> string
+
+(** [append a b] concatenates. *)
+val append : t -> t -> t
+
+(** [concat l] concatenates in order. *)
+val concat : t list -> t
+
+(** [sub b pos len] is the slice of [len] bits starting at [pos].
+    @raise Invalid_argument if the range is invalid. *)
+val sub : t -> int -> int -> t
+
+val equal : t -> t -> bool
+
+(** Lexicographic, shorter-prefix-first order. *)
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

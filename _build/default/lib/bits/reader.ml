@@ -1,0 +1,34 @@
+type t = { src : Bitstring.t; mutable pos : int }
+
+exception Out_of_bits
+
+let of_bitstring src = { src; pos = 0 }
+
+let remaining r = Bitstring.length r.src - r.pos
+
+let bit r =
+  if r.pos >= Bitstring.length r.src then raise Out_of_bits;
+  let b = Bitstring.get r.src r.pos in
+  r.pos <- r.pos + 1;
+  b
+
+let fixed r ~width =
+  let v = ref 0 in
+  for _ = 1 to width do
+    v := (!v lsl 1) lor (if bit r then 1 else 0)
+  done;
+  !v
+
+let unary r =
+  let n = ref 0 in
+  while bit r do
+    incr n
+  done;
+  !n
+
+let gamma r =
+  let k = unary r + 1 in
+  let tail = fixed r ~width:(k - 1) in
+  (1 lsl (k - 1)) + tail - 1
+
+let at_end r = remaining r = 0

@@ -1,0 +1,26 @@
+(** Sequential bit reader; the decoding counterpart of {!Writer}. *)
+
+type t
+
+(** Raised when a read runs past the end of the bitstring. *)
+exception Out_of_bits
+
+(** Start reading at bit 0. *)
+val of_bitstring : Bitstring.t -> t
+
+(** Bits not yet consumed. *)
+val remaining : t -> int
+
+val bit : t -> bool
+
+(** [fixed r ~width] reads a [width]-bit MSB-first integer. *)
+val fixed : t -> width:int -> int
+
+(** Reads a {!Writer.unary}-coded integer. *)
+val unary : t -> int
+
+(** Reads a {!Writer.gamma}-coded integer. *)
+val gamma : t -> int
+
+(** True iff every bit has been consumed. *)
+val at_end : t -> bool

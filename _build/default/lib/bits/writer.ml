@@ -1,0 +1,60 @@
+(* Bits are accumulated MSB-first directly into a growable byte buffer,
+   mirroring Bitstring's packing, so [contents] is a cheap copy. *)
+
+type t = { mutable bytes : Bytes.t; mutable len : int }
+
+let create () = { bytes = Bytes.make 64 '\000'; len = 0 }
+
+let length w = w.len
+
+let ensure w bits =
+  let needed = (w.len + bits + 7) / 8 in
+  if needed > Bytes.length w.bytes then begin
+    let grown = Bytes.make (max needed (2 * Bytes.length w.bytes)) '\000' in
+    Bytes.blit w.bytes 0 grown 0 ((w.len + 7) / 8);
+    w.bytes <- grown
+  end
+
+let bit w b =
+  ensure w 1;
+  if b then begin
+    let i = w.len in
+    let j = i / 8 in
+    Bytes.set w.bytes j
+      (Char.chr (Char.code (Bytes.get w.bytes j) lor (0x80 lsr (i mod 8))))
+  end;
+  w.len <- w.len + 1
+
+let fixed w ~width v =
+  if width < 0 then invalid_arg "Writer.fixed: negative width";
+  if v < 0 then invalid_arg "Writer.fixed: negative value";
+  if width < 63 && v lsr width <> 0 then
+    invalid_arg "Writer.fixed: value does not fit";
+  for i = width - 1 downto 0 do
+    bit w (v lsr i land 1 = 1)
+  done
+
+let unary w v =
+  if v < 0 then invalid_arg "Writer.unary";
+  for _ = 1 to v do
+    bit w true
+  done;
+  bit w false
+
+let width_of v =
+  (* Number of bits in the binary representation of [v + 1]. *)
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 (v + 1)
+
+let gamma w v =
+  if v < 0 then invalid_arg "Writer.gamma";
+  let k = width_of v in
+  unary w (k - 1);
+  fixed w ~width:(k - 1) (v + 1 - (1 lsl (k - 1)))
+
+let bits w b =
+  for i = 0 to Bitstring.length b - 1 do
+    bit w (Bitstring.get b i)
+  done
+
+let contents w = Bitstring.of_packed w.bytes w.len

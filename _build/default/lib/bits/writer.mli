@@ -1,0 +1,29 @@
+(** Append-only bit writer used by oracles to assemble advice strings. *)
+
+type t
+
+(** A fresh, empty writer. *)
+val create : unit -> t
+
+(** Bits written so far. *)
+val length : t -> int
+
+val bit : t -> bool -> unit
+
+(** [fixed w ~width v] writes [v] in exactly [width] bits, MSB first.
+    @raise Invalid_argument if [v < 0], [width < 0], or [v] does not fit. *)
+val fixed : t -> width:int -> int -> unit
+
+(** [unary w v] writes [v] ones followed by a zero. [v >= 0]. *)
+val unary : t -> int -> unit
+
+(** [gamma w v] writes [v >= 0] in Elias-gamma style
+    (unary length of the binary form, then its bits), a self-delimiting code
+    of 2⌊log2(v+1)⌋+1 bits. *)
+val gamma : t -> int -> unit
+
+(** Append a whole bitstring. *)
+val bits : t -> Bitstring.t -> unit
+
+(** The accumulated bitstring. The writer remains usable. *)
+val contents : t -> Bitstring.t

@@ -1,0 +1,1 @@
+lib/election/broadcast.ml: Array List Shades_graph Task

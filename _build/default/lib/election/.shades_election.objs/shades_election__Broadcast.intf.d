@@ -1,0 +1,1 @@
+lib/election/broadcast.mli: Shades_graph Task

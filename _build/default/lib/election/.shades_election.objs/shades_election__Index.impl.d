@@ -1,0 +1,1 @@
+lib/election/index.ml: Array Int List Option Shades_graph Shades_views Task

@@ -1,0 +1,1 @@
+lib/election/index.mli: Shades_graph Task

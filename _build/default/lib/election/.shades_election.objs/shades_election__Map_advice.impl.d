@@ -1,0 +1,1 @@
+lib/election/map_advice.ml: Array Index Scheme Shades_graph Shades_views

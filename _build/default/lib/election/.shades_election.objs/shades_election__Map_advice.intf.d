@@ -1,0 +1,1 @@
+lib/election/map_advice.mli: Scheme Task

@@ -1,0 +1,1 @@
+lib/election/min_advice.ml: Array Hashtbl List Option Shades_graph Shades_views String

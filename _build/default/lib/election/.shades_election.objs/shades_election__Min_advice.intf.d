@@ -1,0 +1,1 @@
+lib/election/min_advice.mli: Shades_graph

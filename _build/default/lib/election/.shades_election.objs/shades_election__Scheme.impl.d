@@ -1,0 +1,1 @@
+lib/election/scheme.ml: Shades_bits Shades_graph Shades_localsim Shades_views

@@ -1,0 +1,1 @@
+lib/election/scheme.mli: Shades_bits Shades_graph Shades_views

@@ -1,0 +1,1 @@
+lib/election/select_by_view.ml: List Scheme Shades_bits Shades_views Task

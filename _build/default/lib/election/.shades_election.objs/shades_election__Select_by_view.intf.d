@@ -1,0 +1,1 @@
+lib/election/select_by_view.mli: Scheme Shades_graph Task

@@ -1,0 +1,1 @@
+lib/election/size_advice.ml: Array List Option Shades_bits Shades_graph Shades_localsim Shades_views Task

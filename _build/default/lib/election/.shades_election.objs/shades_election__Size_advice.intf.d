@@ -1,0 +1,1 @@
+lib/election/size_advice.mli: Shades_bits Shades_graph Shades_views Task

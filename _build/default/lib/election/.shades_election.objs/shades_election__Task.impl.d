@@ -1,0 +1,1 @@
+lib/election/task.ml: Format

@@ -1,0 +1,1 @@
+lib/election/task.mli: Format

@@ -1,0 +1,1 @@
+lib/election/verify.ml: Array List Printf Result Shades_graph Task

@@ -1,0 +1,1 @@
+lib/election/verify.mli: Shades_graph Stdlib Task

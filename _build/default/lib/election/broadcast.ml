@@ -1,0 +1,44 @@
+module Port_graph = Shades_graph.Port_graph
+
+type result = { received : bool array; rounds : int; messages : int }
+
+let run g ~selection ~payload =
+  ignore payload;
+  let n = Port_graph.order g in
+  if Array.length selection <> n then invalid_arg "Broadcast.run";
+  let leader =
+    let leaders =
+      List.filter
+        (fun v -> selection.(v) = Task.Leader)
+        (Port_graph.vertices g)
+    in
+    match leaders with
+    | [ l ] -> l
+    | _ -> invalid_arg "Broadcast.run: need exactly one leader"
+  in
+  (* Synchronous flood: a node transmits on all its ports in the round
+     after it first holds the payload. *)
+  let received = Array.make n false in
+  received.(leader) <- true;
+  let frontier = ref [ leader ] in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  while !frontier <> [] do
+    incr rounds;
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        for p = 0 to Port_graph.degree g v - 1 do
+          incr messages;
+          let u = Port_graph.neighbor_vertex g v p in
+          if not received.(u) then begin
+            received.(u) <- true;
+            next := u :: !next
+          end
+        done)
+      !frontier;
+    frontier := !next
+  done;
+  (* the final round delivered nothing new: everything arrived by
+     rounds - 1 unless the graph is a single node *)
+  { received; rounds = max 0 (!rounds - 1); messages = !messages }

@@ -1,0 +1,26 @@
+(** Anonymous broadcast from an elected leader.
+
+    Section 1 argues that Selection — the weakest shade — already
+    suffices "if the leader has to broadcast a message to all other
+    nodes": the leader floods, and no node needs to know where the
+    leader is.  This module runs that flood through the LOCAL engine on
+    top of any Selection output and reports when every node received
+    the payload. *)
+
+type result = {
+  received : bool array;  (** all true on success *)
+  rounds : int;  (** = eccentricity of the leader *)
+  messages : int;
+}
+
+(** [run g ~selection ~payload] floods [payload] from the node that
+    answered [Leader] in [selection]; each node outputs once the flood
+    reaches it (so the round count is exactly the leader's
+    eccentricity).
+    @raise Invalid_argument if [selection] does not contain exactly one
+    leader. *)
+val run :
+  Shades_graph.Port_graph.t ->
+  selection:unit Task.answer array ->
+  payload:int ->
+  result

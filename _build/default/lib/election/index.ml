@@ -1,0 +1,180 @@
+module Port_graph = Shades_graph.Port_graph
+module Paths = Shades_graph.Paths
+module Refinement = Shades_views.Refinement
+
+type vertex = Port_graph.vertex
+
+(* Try to assign a common output to every non-leader class.  [assign]
+   receives the members of one class and must produce one payload valid
+   for all of them, or [None]. *)
+let try_leader g refinement ~depth ~leader ~assign =
+  let n = Port_graph.order g in
+  let groups = Refinement.classes refinement ~depth in
+  let answers = Array.make n Task.Leader in
+  let rec go = function
+    | [] -> Some answers
+    | members :: rest ->
+        if members = [ leader ] then go rest
+        else begin
+          match assign members with
+          | None -> None
+          | Some payload ->
+              List.iter
+                (fun v -> answers.(v) <- Task.Follower payload)
+                members;
+              go rest
+        end
+  in
+  go (Array.to_list groups)
+
+(* Candidate leaders at [depth]: nodes whose B^depth is unique
+   (Proposition 2.1), scanned in vertex order for determinism. *)
+let with_candidates g ~depth f =
+  let refinement = Refinement.compute g ~depth in
+  let rec first = function
+    | [] -> None
+    | leader :: rest -> (
+        match f refinement leader with
+        | Some answers -> Some answers
+        | None -> first rest)
+  in
+  first (List.sort Int.compare (Refinement.singletons refinement ~depth))
+
+let single_node_answers g =
+  if Port_graph.order g = 1 then Some [| Task.Leader |] else None
+
+let solve_s g ~depth =
+  match single_node_answers g with
+  | Some a -> Some a
+  | None ->
+      with_candidates g ~depth (fun refinement leader ->
+          try_leader g refinement ~depth ~leader ~assign:(fun _ -> Some ()))
+
+let pe_port_valid g ~leader v p =
+  let u = Port_graph.neighbor_vertex g v p in
+  u = leader || Paths.connected_avoiding g ~avoid:v u leader
+
+let solve_pe g ~depth =
+  match single_node_answers g with
+  | Some a -> Some a
+  | None ->
+      with_candidates g ~depth (fun refinement leader ->
+          try_leader g refinement ~depth ~leader ~assign:(fun members ->
+              let deg = Port_graph.degree g (List.hd members) in
+              let rec try_port p =
+                if p = deg then None
+                else if
+                  List.for_all (fun v -> pe_port_valid g ~leader v p) members
+                then Some p
+                else try_port (p + 1)
+              in
+              try_port 0))
+
+(* Joint DFS for a common port sequence that traces a simple path from
+   every member to the leader simultaneously.  [arrival = true] (CPPE)
+   additionally requires all members to agree on the far port at every
+   hop and records it.  Sequences are explored in lexicographic order,
+   bounded by [order g - 1] hops (simple paths). *)
+let common_route g ~leader ~members ~arrival =
+  let max_len = Port_graph.order g - 1 in
+  let rec extend route_rev len positions visiteds =
+    if List.for_all (fun x -> x = leader) positions then
+      Some (List.rev route_rev)
+    else if len >= max_len then None
+    else if List.exists (fun x -> x = leader) positions then
+      (* A member sitting at the leader would have to leave and could
+         never come back on a simple path. *)
+      None
+    else begin
+      let deg_min =
+        List.fold_left (fun acc x -> min acc (Port_graph.degree g x))
+          max_int positions
+      in
+      let rec try_port p =
+        if p >= deg_min then None
+        else begin
+          let steps =
+            List.map (fun x -> Port_graph.neighbor g x p) positions
+          in
+          let qs = List.map snd steps in
+          let q0 = List.hd qs in
+          let agree = (not arrival) || List.for_all (fun q -> q = q0) qs in
+          let simple =
+            List.for_all2
+              (fun (u, _) visited -> not (List.mem u visited))
+              steps visiteds
+          in
+          let result =
+            if agree && simple then
+              extend
+                ((p, q0) :: route_rev)
+                (len + 1)
+                (List.map fst steps)
+                (List.map2 (fun (u, _) vis -> u :: vis) steps visiteds)
+            else None
+          in
+          match result with Some r -> Some r | None -> try_port (p + 1)
+        end
+      in
+      try_port 0
+    end
+  in
+  extend [] 0 members (List.map (fun v -> [ v ]) members)
+
+let solve_route g ~depth ~arrival =
+  with_candidates g ~depth (fun refinement leader ->
+      try_leader g refinement ~depth ~leader ~assign:(fun members ->
+          common_route g ~leader ~members ~arrival))
+
+let solve_ppe g ~depth =
+  match single_node_answers g with
+  | Some a -> Some a
+  | None -> (
+      match solve_route g ~depth ~arrival:false with
+      | None -> None
+      | Some answers ->
+          Some
+            (Array.map
+               (function
+                 | Task.Leader -> Task.Leader
+                 | Task.Follower pqs -> Task.Follower (List.map fst pqs))
+               answers))
+
+let solve_cppe g ~depth =
+  match single_node_answers g with
+  | Some a -> Some a
+  | None -> solve_route g ~depth ~arrival:true
+
+(* Scan depths from ψ_S up to the first discrete depth, where all four
+   tasks are certainly solvable (every class is a singleton and a BFS
+   shortest path provides each node's private route). *)
+let scan g solve =
+  if Port_graph.order g = 1 then Some 0
+  else
+    match Refinement.min_unique_depth g with
+    | None -> None
+    | Some start ->
+        let t = Refinement.fixpoint g in
+        let stop = Refinement.depth t in
+        let rec go k =
+          if k > stop then
+            (* Unreachable for correct solvers; guards non-termination. *)
+            None
+          else if Option.is_some (solve g ~depth:k) then Some k
+          else go (k + 1)
+        in
+        go start
+
+let psi_s g = scan g (fun g ~depth -> solve_s g ~depth)
+let psi_pe g = scan g (fun g ~depth -> solve_pe g ~depth)
+let psi_ppe g = scan g (fun g ~depth -> solve_ppe g ~depth)
+let psi_cppe g = scan g (fun g ~depth -> solve_cppe g ~depth)
+
+let psi kind =
+  match kind with
+  | Task.S -> psi_s
+  | Task.PE -> psi_pe
+  | Task.PPE -> psi_ppe
+  | Task.CPPE -> psi_cppe
+
+let all g = List.map (fun kind -> (kind, psi kind g)) Task.all

@@ -1,0 +1,50 @@
+(** Exact election indexes ψ_Z(G) (Section 1 of the paper).
+
+    For a feasible graph [G] and task [Z], ψ_Z(G) is the minimum number
+    of rounds in which [Z] can be solved when nodes know the map of [G].
+    After [k] rounds a node's knowledge is exactly [B^k], so a [k]-round
+    algorithm is precisely a function from view classes to outputs; a
+    task is [k]-solvable iff some node with a unique [B^k] can be chosen
+    as leader and every other class admits a single output valid for
+    {e all} of its members simultaneously.  The [solve_*] functions
+    search for such an assignment (deterministically, smallest-first) and
+    the [psi_*] functions scan depths for the least solvable one.
+
+    The joint-path search for PPE/CPPE is exponential in class size; use
+    these on small graphs (the paper's families have dedicated
+    algorithms in [Shades_families]). *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+(** {1 Fixed-depth solvers}
+
+    Each returns per-vertex answers of a correct [depth]-round algorithm
+    (constant on view classes at that depth), or [None] if the task is
+    not [depth]-solvable. *)
+
+val solve_s :
+  Shades_graph.Port_graph.t -> depth:int -> unit Task.answer array option
+
+val solve_pe :
+  Shades_graph.Port_graph.t -> depth:int -> int Task.answer array option
+
+val solve_ppe :
+  Shades_graph.Port_graph.t -> depth:int -> int list Task.answer array option
+
+val solve_cppe :
+  Shades_graph.Port_graph.t -> depth:int ->
+  (int * int) list Task.answer array option
+
+(** {1 Election indexes}
+
+    [None] when the graph is infeasible (some views coincide forever). *)
+
+val psi_s : Shades_graph.Port_graph.t -> int option
+val psi_pe : Shades_graph.Port_graph.t -> int option
+val psi_ppe : Shades_graph.Port_graph.t -> int option
+val psi_cppe : Shades_graph.Port_graph.t -> int option
+
+val psi : Task.kind -> Shades_graph.Port_graph.t -> int option
+
+(** All four indexes at once (sharing the refinement). *)
+val all : Shades_graph.Port_graph.t -> (Task.kind * int option) list

@@ -1,0 +1,44 @@
+module Port_graph = Shades_graph.Port_graph
+module View_tree = Shades_views.View_tree
+
+(* Each node independently recomputes the same deterministic solution
+   from the map; anonymity is respected because a node locates itself in
+   the map only up to view equivalence, and the solution is constant on
+   view classes by construction. *)
+let make name psi solve =
+  let plan advice =
+    let map = Port_graph.decode advice in
+    match psi map with
+    | None -> invalid_arg "Map_advice: infeasible graph"
+    | Some k -> (map, k)
+  in
+  {
+    Scheme.name;
+    oracle = Port_graph.encode;
+    rounds_of = (fun ~advice ~degree:_ -> snd (plan advice));
+    decide =
+      (fun ~advice view ->
+        let map, k = plan advice in
+        let answers =
+          match solve map ~depth:k with
+          | Some a -> a
+          | None -> assert false (* k = ψ is solvable by definition *)
+        in
+        let rec find v =
+          if v >= Port_graph.order map then
+            invalid_arg "Map_advice: view not found in map"
+          else if View_tree.equal (View_tree.of_graph map v ~depth:k) view
+          then v
+          else find (v + 1)
+        in
+        answers.(find 0));
+  }
+
+let selection = make "map-advice S" Index.psi_s Index.solve_s
+let port_election = make "map-advice PE" Index.psi_pe Index.solve_pe
+
+let port_path_election =
+  make "map-advice PPE" Index.psi_ppe Index.solve_ppe
+
+let complete_port_path_election =
+  make "map-advice CPPE" Index.psi_cppe Index.solve_cppe

@@ -1,0 +1,195 @@
+module Port_graph = Shades_graph.Port_graph
+module View_tree = Shades_views.View_tree
+
+(* View census of a graph at the given depth: canonical key -> count. *)
+let census ~depth g =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let key = View_tree.canonical_key (View_tree.of_graph g v ~depth) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    (Port_graph.vertices g);
+  counts
+
+let sharable_census censuses =
+  (* Choose one count-1 view per graph such that the union of choices
+     meets every graph's census in exactly one occurrence.  Backtracking
+     over graphs; the partial check keeps the search tiny. *)
+  let graphs = Array.of_list censuses in
+  let m = Array.length graphs in
+  let ok_for_all chosen =
+    Array.for_all
+      (fun census ->
+        let total =
+          List.fold_left
+            (fun acc key ->
+              acc + Option.value ~default:0 (Hashtbl.find_opt census key))
+            0 chosen
+        in
+        total = 1)
+      graphs
+  in
+  let rec assign i chosen =
+    if i = m then ok_for_all chosen
+    else begin
+      let candidates =
+        Hashtbl.fold
+          (fun key count acc -> if count = 1 then key :: acc else acc)
+          graphs.(i) []
+        |> List.sort String.compare
+      in
+      List.exists
+        (fun key ->
+          let chosen' = if List.mem key chosen then chosen else key :: chosen in
+          (* prune: the choice must not already overfill any census *)
+          let feasible =
+            Array.for_all
+              (fun census ->
+                let total =
+                  List.fold_left
+                    (fun acc k ->
+                      acc
+                      + Option.value ~default:0 (Hashtbl.find_opt census k))
+                    0 chosen'
+                in
+                total <= 1)
+              graphs
+          in
+          feasible && assign (i + 1) chosen')
+        candidates
+    end
+  in
+  assign 0 []
+
+let sharable ~depth graphs = sharable_census (List.map (census ~depth) graphs)
+
+let min_advice_strings ~depth graphs =
+  let censuses = Array.of_list (List.map (census ~depth) graphs) in
+  let m = Array.length censuses in
+  if m = 0 then 0
+  else begin
+    if m > 20 then invalid_arg "Min_advice: too many graphs for exact DP";
+    (* sharability per subset, then minimum partition into sharable
+       subsets by subset DP. *)
+    let full = (1 lsl m) - 1 in
+    let subset_graphs mask =
+      List.filteri (fun i _ -> (mask lsr i) land 1 = 1)
+        (Array.to_list censuses)
+    in
+    let sharable_mask = Array.make (full + 1) false in
+    for mask = 1 to full do
+      sharable_mask.(mask) <- sharable_census (subset_graphs mask)
+    done;
+    let best = Array.make (full + 1) max_int in
+    best.(0) <- 0;
+    for mask = 1 to full do
+      (* iterate over non-empty submasks containing the lowest set bit,
+         so partitions are enumerated once *)
+      let low = mask land -mask in
+      let sub = ref mask in
+      while !sub > 0 do
+        if !sub land low <> 0 && sharable_mask.(!sub) then begin
+          let rest = mask lxor !sub in
+          if best.(rest) < max_int then
+            best.(mask) <- min best.(mask) (best.(rest) + 1)
+        end;
+        sub := (!sub - 1) land mask
+      done
+    done;
+    if best.(full) = max_int then
+      invalid_arg "Min_advice: some graph admits no valid selection"
+    else best.(full)
+  end
+
+(* View census keeping the member vertices: key -> vertex list. *)
+let census_members ~depth g =
+  let members = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let key = View_tree.canonical_key (View_tree.of_graph g v ~depth) in
+      Hashtbl.replace members key
+        (v :: Option.value ~default:[] (Hashtbl.find_opt members key)))
+    (Port_graph.vertices g);
+  members
+
+let pe_port_valid g ~leader v p =
+  let u = Port_graph.neighbor_vertex g v p in
+  u = leader || Shades_graph.Paths.connected_avoiding g ~avoid:v u leader
+
+let pe_sharable ~depth g1 g2 =
+  let m1 = census_members ~depth g1 and m2 = census_members ~depth g2 in
+  let count m key =
+    List.length (Option.value ~default:[] (Hashtbl.find_opt m key))
+  in
+  let keys =
+    let all = Hashtbl.create 64 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace all k ()) m1;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace all k ()) m2;
+    Hashtbl.fold (fun k () acc -> k :: acc) all []
+  in
+  (* Candidate leader views per graph: occur exactly once there. *)
+  let singles m = List.filter (fun k -> count m k = 1) keys in
+  let leader_sets =
+    (* S = {s1} or {s1; s2}: must meet census_1 and census_2 exactly
+       once each. *)
+    List.concat_map
+      (fun s1 ->
+        List.filter_map
+          (fun s2 ->
+            let s = if s1 = s2 then [ s1 ] else [ s1; s2 ] in
+            let hits m =
+              List.fold_left (fun acc k -> acc + count m k) 0 s
+            in
+            if hits m1 = 1 && hits m2 = 1 then Some s else None)
+          (singles m2))
+      (singles m1)
+  in
+  let leader_of m s =
+    (* the unique vertex of the graph whose view is in s *)
+    List.concat_map
+      (fun k -> Option.value ~default:[] (Hashtbl.find_opt m k))
+      s
+    |> function
+    | [ v ] -> v
+    | _ -> assert false
+  in
+  List.exists
+    (fun s ->
+      let l1 = leader_of m1 s and l2 = leader_of m2 s in
+      List.for_all
+        (fun key ->
+          List.mem key s
+          || begin
+               (* one port must work for every occurrence in both graphs *)
+               let members1 =
+                 Option.value ~default:[] (Hashtbl.find_opt m1 key)
+               in
+               let members2 =
+                 Option.value ~default:[] (Hashtbl.find_opt m2 key)
+               in
+               let deg =
+                 match (members1, members2) with
+                 | v :: _, _ -> Port_graph.degree g1 v
+                 | [], v :: _ -> Port_graph.degree g2 v
+                 | [], [] -> assert false
+               in
+               let rec try_port p =
+                 p < deg
+                 && ((List.for_all
+                        (fun v -> pe_port_valid g1 ~leader:l1 v p)
+                        members1
+                     && List.for_all
+                          (fun v -> pe_port_valid g2 ~leader:l2 v p)
+                          members2)
+                    || try_port (p + 1))
+               in
+               try_port 0
+             end)
+        keys)
+    leader_sets
+
+let bits_for count =
+  (* smallest L with 2^{L+1} - 1 >= count *)
+  let rec go l = if (1 lsl (l + 1)) - 1 >= count then l else go (l + 1) in
+  go 0

@@ -1,0 +1,25 @@
+type 'o t = {
+  name : string;
+  oracle : Shades_graph.Port_graph.t -> Shades_bits.Bitstring.t;
+  rounds_of : advice:Shades_bits.Bitstring.t -> degree:int -> int;
+  decide : advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o;
+}
+
+type 'o run = { outputs : 'o array; rounds : int; advice_bits : int }
+
+let run_with_advice scheme g ~advice =
+  let outputs, rounds =
+    Shades_localsim.Full_info.run_adaptive g ~advice
+      ~rounds_of:scheme.rounds_of ~decide:scheme.decide
+  in
+  { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }
+
+let run scheme g = run_with_advice scheme g ~advice:(scheme.oracle g)
+
+let run_async ?seed scheme g =
+  let advice = scheme.oracle g in
+  let outputs, rounds =
+    Shades_localsim.Full_info.run_adaptive_async ?seed g ~advice
+      ~rounds_of:scheme.rounds_of ~decide:scheme.decide
+  in
+  { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }

@@ -1,0 +1,41 @@
+(** Algorithms with advice (the paper's framework).
+
+    A scheme pairs an oracle — which sees the whole port-labeled graph
+    and emits one binary string — with a distributed algorithm that every
+    node runs on (degree, advice, gathered view).  The same advice string
+    goes to every node: it cannot add asymmetry, only expose it.
+
+    Running a scheme reports the advice size in bits (the paper's
+    complexity measure) and the number of communication rounds used. *)
+
+type 'o t = {
+  name : string;
+  oracle : Shades_graph.Port_graph.t -> Shades_bits.Bitstring.t;
+      (** Computes the advice for a given network. *)
+  rounds_of : advice:Shades_bits.Bitstring.t -> degree:int -> int;
+      (** How many rounds the node algorithm runs, derived from local
+          knowledge only (advice + own degree). *)
+  decide : advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o;
+      (** The node's output as a function of its gathered view. *)
+}
+
+type 'o run = {
+  outputs : 'o array;  (** vertex-indexed (oracle-side bookkeeping) *)
+  rounds : int;  (** communication rounds used *)
+  advice_bits : int;  (** length of the advice string *)
+}
+
+(** Execute the scheme on [g] through the LOCAL simulator (the node
+    algorithm really exchanges messages; nothing is shortcut). *)
+val run : 'o t -> Shades_graph.Port_graph.t -> 'o run
+
+(** [run_with_advice scheme g ~advice] runs the distributed part under a
+    forced advice string — the primitive for fooling experiments, where
+    the pigeonhole forces one string to serve two graphs. *)
+val run_with_advice :
+  'o t -> Shades_graph.Port_graph.t -> advice:Shades_bits.Bitstring.t -> 'o run
+
+(** Asynchronous execution (seeded adversarial delays, α-synchronizer):
+    same outputs and round count as {!run} — the paper's remark that the
+    synchronous LOCAL process survives asynchrony via time-stamps. *)
+val run_async : ?seed:int -> 'o t -> Shades_graph.Port_graph.t -> 'o run

@@ -1,0 +1,83 @@
+module Port_graph = Shades_graph.Port_graph
+module Paths = Shades_graph.Paths
+module Reconstruct = Shades_views.Reconstruct
+module Refinement = Shades_views.Refinement
+
+type 'o t = {
+  name : string;
+  oracle : Port_graph.t -> Shades_bits.Bitstring.t;
+  rounds_of : advice:Shades_bits.Bitstring.t -> degree:int -> int;
+  decide :
+    advice:Shades_bits.Bitstring.t -> Shades_views.Cview.ctx ->
+    Shades_views.Cview.t -> 'o;
+}
+
+type 'o run = { outputs : 'o array; rounds : int; advice_bits : int }
+
+let run_with_advice scheme g ~advice =
+  let outputs, rounds =
+    Shades_localsim.Compact_info.run_adaptive g ~advice
+      ~rounds_of:scheme.rounds_of ~decide:scheme.decide
+  in
+  { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }
+
+let run scheme g = run_with_advice scheme g ~advice:(scheme.oracle g)
+
+let oracle g =
+  if not (Refinement.feasible g) then
+    invalid_arg "Size_advice: infeasible graph";
+  let w = Shades_bits.Writer.create () in
+  Shades_bits.Writer.gamma w (Port_graph.order g);
+  Shades_bits.Writer.contents w
+
+let n_of advice =
+  Shades_bits.Reader.gamma (Shades_bits.Reader.of_bitstring advice)
+
+let rounds_of ~advice ~degree:_ = Reconstruct.rounds_needed ~n:(n_of advice)
+
+(* Rebuild the map from my own deep view and canonicalize.  Feasible
+   graphs are rigid (all views distinct, so no nontrivial
+   automorphism), hence the canonical map and my position in it are the
+   same no matter which node computes them. *)
+let locate ~advice ctx view =
+  let n = n_of advice in
+  let local, me = Reconstruct.graph_of_cview ctx view ~n in
+  match Refinement.canonical_order local with
+  | Some perm -> (Port_graph.renumber local perm, perm.(me))
+  | None -> invalid_arg "Size_advice: infeasible graph (advice cannot help)"
+
+(* The canonical vertex 0 is the leader; everyone else routes to it by
+   a BFS shortest path, which is simple. *)
+let make name payload =
+  {
+    name;
+    oracle;
+    rounds_of;
+    decide =
+      (fun ~advice ctx view ->
+        let map, me = locate ~advice ctx view in
+        if me = 0 then Task.Leader
+        else begin
+          let walk = Option.get (Paths.shortest_path map me 0) in
+          Task.Follower (payload map walk)
+        end);
+  }
+
+let selection = make "size-advice S (time 2(n-1))" (fun _ _ -> ())
+
+let port_election =
+  make "size-advice PE (time 2(n-1))" (fun map walk ->
+      List.hd (Paths.ports_of_walk map walk))
+
+let port_path_election =
+  make "size-advice PPE (time 2(n-1))" (fun map walk ->
+      Paths.ports_of_walk map walk)
+
+let complete_port_path_election =
+  make "size-advice CPPE (time 2(n-1))" (fun map walk ->
+      let rec group = function
+        | [] -> []
+        | p :: q :: rest -> (p, q) :: group rest
+        | [ _ ] -> assert false
+      in
+      group (Paths.full_ports_of_walk map walk))

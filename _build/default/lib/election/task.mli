@@ -1,0 +1,26 @@
+(** The four formulations of leader election (Section 1 of the paper).
+
+    - Selection (S): one node outputs leader, the rest non-leader.
+    - Port Election (PE): each non-leader outputs the first port on a
+      simple path from it to the leader.
+    - Port Path Election (PPE): each non-leader outputs the sequence of
+      outgoing ports along a simple path to the leader.
+    - Complete Port Path Election (CPPE): each non-leader outputs the
+      full sequence (p1, q1, ..., pk, qk) of both ports per edge. *)
+
+type kind = S | PE | PPE | CPPE
+
+(** All four, in increasing order of strength. *)
+val all : kind list
+
+val kind_to_string : kind -> string
+
+(** A node's answer for a task whose non-leader payload has type ['a]:
+    [unit] for S, [int] for PE, [int list] for PPE and
+    [(int * int) list] for CPPE. *)
+type 'a answer = Leader | Follower of 'a
+
+val answer_equal : ('a -> 'a -> bool) -> 'a answer -> 'a answer -> bool
+
+val pp_answer :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a answer -> unit

@@ -1,0 +1,131 @@
+module Port_graph = Shades_graph.Port_graph
+module Paths = Shades_graph.Paths
+
+type vertex = Port_graph.vertex
+
+let find_leader answers =
+  let leaders = ref [] in
+  Array.iteri
+    (fun v a -> match a with Task.Leader -> leaders := v :: !leaders | _ -> ())
+    answers;
+  match !leaders with
+  | [ l ] -> Ok l
+  | [] -> Error "no node output leader"
+  | ls -> Error (Printf.sprintf "%d nodes output leader" (List.length ls))
+
+let check_answers g answers ~valid =
+  Result.bind (find_leader answers) (fun leader ->
+      let n = Port_graph.order g in
+      if Array.length answers <> n then Error "wrong number of answers"
+      else begin
+        let rec go v =
+          if v = n then Ok leader
+          else
+            match answers.(v) with
+            | Task.Leader -> go (v + 1)
+            | Task.Follower payload -> (
+                match valid g ~leader ~v payload with
+                | Ok () -> go (v + 1)
+                | Error e -> Error (Printf.sprintf "node %d: %s" v e))
+        in
+        go 0
+      end)
+
+let selection g answers =
+  check_answers g answers ~valid:(fun _ ~leader:_ ~v:_ () -> Ok ())
+
+(* PE validity of port [p] at [v]: the far endpoint is the leader or
+   reaches the leader avoiding [v].  Checking this by BFS for every node
+   is quadratic; but if the declared ports, read as a successor function,
+   lead from [v] all the way to the leader, the successor walk itself is
+   a simple path (a deterministic walk repeats a vertex only by entering
+   a cycle) certifying every node on it.  So we resolve the successor
+   walks first and only BFS the nodes whose walk degenerates. *)
+let port_election g answers =
+  Result.bind (find_leader answers) @@ fun leader ->
+  let n = Port_graph.order g in
+  if Array.length answers <> n then Error "wrong number of answers"
+  else begin
+    let exception Bad of string in
+    try
+      let succ =
+        Array.mapi
+          (fun v a ->
+            match a with
+            | Task.Leader -> v
+            | Task.Follower p ->
+                if p < 0 || p >= Port_graph.degree g v then
+                  raise (Bad (Printf.sprintf "node %d: port out of range" v));
+                Port_graph.neighbor_vertex g v p)
+          answers
+      in
+      let status = Array.make n `Unknown in
+      status.(leader) <- `Good;
+      for v = 0 to n - 1 do
+        if status.(v) = `Unknown then begin
+          let rec follow stack x =
+            match status.(x) with
+            | `Good -> List.iter (fun y -> status.(y) <- `Good) stack
+            | `Fallback | `On_stack ->
+                List.iter (fun y -> status.(y) <- `Fallback) stack
+            | `Unknown ->
+                status.(x) <- `On_stack;
+                follow (x :: stack) succ.(x)
+          in
+          follow [] v
+        end
+      done;
+      for v = 0 to n - 1 do
+        if status.(v) = `Fallback then begin
+          let u = succ.(v) in
+          if
+            not
+              (u = leader || Paths.connected_avoiding g ~avoid:v u leader)
+          then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "node %d: its port is not the start of a simple path \
+                     to %d"
+                    v leader))
+        end
+      done;
+      Ok leader
+    with Bad e -> Error e
+  end
+
+(* Common core of PPE/CPPE: follow the outgoing ports, checking arrival
+   ports when given, and require a nonempty simple walk ending at the
+   leader. *)
+let check_route g ~leader ~v route ~arrival =
+  if route = [] then Error "empty path (non-leader must reach the leader)"
+  else begin
+    let rec go x visited = function
+      | [] ->
+          if x = leader then Ok ()
+          else Error (Printf.sprintf "path ends at %d, not the leader" x)
+      | (p, q) :: rest ->
+          if p < 0 || p >= Port_graph.degree g x then
+            Error (Printf.sprintf "port %d out of range" p)
+          else begin
+            let u, q' = Port_graph.neighbor g x p in
+            match arrival with
+            | true when q' <> q ->
+                Error
+                  (Printf.sprintf "arrival port mismatch: expected %d got %d"
+                     q q')
+            | _ ->
+                if List.mem u visited then Error "path is not simple"
+                else go u (u :: visited) rest
+          end
+    in
+    go v [ v ] route
+  end
+
+let port_path_election g answers =
+  check_answers g answers ~valid:(fun g ~leader ~v ps ->
+      check_route g ~leader ~v (List.map (fun p -> (p, 0)) ps) ~arrival:false)
+
+let complete_port_path_election g answers =
+  check_answers g answers ~valid:(fun g ~leader ~v pqs ->
+      check_route g ~leader ~v pqs ~arrival:true)

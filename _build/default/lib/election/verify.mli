@@ -1,0 +1,30 @@
+(** Oracle-side correctness checkers for the four tasks.
+
+    Each checker takes a graph and the vertex-indexed answers of all
+    nodes and returns the elected leader on success, or a human-readable
+    reason on failure.  These are the referees for every algorithm and
+    every fooling experiment in the repository. *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+type 'a result := (vertex, string) Stdlib.result
+
+(** Exactly one node answers [Leader]. *)
+val selection : Shades_graph.Port_graph.t -> unit Task.answer array -> 'a result
+
+(** One leader; every other node outputs a port [p] such that the edge
+    at [p] is the first edge of some simple path from it to the leader
+    (equivalently, the far endpoint is the leader or reaches the leader
+    in [G - v]). *)
+val port_election : Shades_graph.Port_graph.t -> int Task.answer array -> 'a result
+
+(** One leader; every other node's outgoing-port sequence traces a
+    simple path in the graph ending at the leader. *)
+val port_path_election :
+  Shades_graph.Port_graph.t -> int list Task.answer array -> 'a result
+
+(** One leader; every other node's [(p, q)] sequence traces a simple
+    path whose arrival ports match [q] at every hop, ending at the
+    leader. *)
+val complete_port_path_election :
+  Shades_graph.Port_graph.t -> (int * int) list Task.answer array -> 'a result

@@ -1,0 +1,1 @@
+lib/families/blocks.ml: Array List Proto Shades_graph

@@ -1,0 +1,1 @@
+lib/families/blocks.mli: Proto Shades_graph

@@ -1,0 +1,1 @@
+lib/families/component.ml: Array Layers List Proto Shades_graph

@@ -1,0 +1,1 @@
+lib/families/component.mli: Layers Proto Shades_graph

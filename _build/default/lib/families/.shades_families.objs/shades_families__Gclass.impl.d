@@ -1,0 +1,1 @@
+lib/families/gclass.ml: Array Blocks List Proto Shades_graph

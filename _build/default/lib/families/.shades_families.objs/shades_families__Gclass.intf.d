@@ -1,0 +1,1 @@
+lib/families/gclass.mli: Shades_graph

@@ -1,0 +1,1 @@
+lib/families/jclass.mli: Component Shades_election Shades_graph

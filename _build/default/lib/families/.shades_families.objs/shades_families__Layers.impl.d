@@ -1,0 +1,1 @@
+lib/families/layers.ml: Array Hashtbl List Proto Shades_graph Stdlib

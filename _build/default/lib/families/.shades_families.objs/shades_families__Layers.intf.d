@@ -1,0 +1,1 @@
+lib/families/layers.mli: Proto Shades_graph

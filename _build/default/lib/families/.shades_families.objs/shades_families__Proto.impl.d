@@ -1,0 +1,1 @@
+lib/families/proto.ml: Array List Shades_graph

@@ -1,0 +1,1 @@
+lib/families/proto.mli: Shades_graph

@@ -1,0 +1,1 @@
+lib/families/uclass.ml: Array Blocks Hashtbl List Option Proto Queue Shades_bits Shades_election Shades_graph Shades_views String

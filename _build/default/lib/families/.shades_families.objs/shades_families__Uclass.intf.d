@@ -1,0 +1,1 @@
+lib/families/uclass.mli: Shades_election Shades_graph

@@ -1,0 +1,90 @@
+type vertex = Shades_graph.Port_graph.vertex
+
+let ipow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  if e < 0 then invalid_arg "Blocks.ipow" else go 1 e
+
+let z ~delta ~k =
+  if delta < 3 || k < 1 then invalid_arg "Blocks.z: need delta >= 3, k >= 1";
+  (delta - 2) * ipow (delta - 1) (k - 1)
+
+let sequence_of_index ~delta ~k j =
+  let z = z ~delta ~k in
+  let base = delta - 1 in
+  let count = ipow base z in
+  if j < 1 || j > count then invalid_arg "Blocks.sequence_of_index";
+  (* Lexicographic order on sequences over 1..∆−1 is numeric order of
+     (x_i - 1) read as a base-(∆−1) numeral, most significant first. *)
+  let x = Array.make z 1 in
+  let rec fill rem i =
+    if i >= 0 then begin
+      x.(i) <- (rem mod base) + 1;
+      fill (rem / base) (i - 1)
+    end
+  in
+  fill (j - 1) (z - 1);
+  x
+
+let add_tree_t proto ~delta ~k =
+  if delta < 3 || k < 1 then invalid_arg "Blocks.add_tree_t";
+  let leaves = ref [] in
+  let root = Proto.fresh proto in
+  (* DFS in increasing port order enumerates leaves lexicographically. *)
+  let rec grow v depth ports =
+    if depth = k then leaves := v :: !leaves
+    else
+      List.iter
+        (fun p ->
+          let c = Proto.fresh proto in
+          Proto.link proto (v, p) (c, 0);
+          grow c (depth + 1) (List.init (delta - 1) (fun i -> i + 1)))
+        ports
+  in
+  grow root 0 (List.init (delta - 2) (fun i -> i + 1));
+  (root, Array.of_list (List.rev !leaves))
+
+let add_augmented proto ~delta ~k ~x =
+  let root, leaves = add_tree_t proto ~delta ~k in
+  if Array.length x <> Array.length leaves then
+    invalid_arg "Blocks.add_augmented: |x| <> z";
+  Array.iteri
+    (fun i xi ->
+      if xi < 1 || xi > delta - 1 then
+        invalid_arg "Blocks.add_augmented: x_i out of range";
+      for p = 1 to xi do
+        let pendant = Proto.fresh proto in
+        Proto.link proto (leaves.(i), p) (pendant, 0)
+      done)
+    x;
+  root
+
+let add_appended_path proto ~root ~k ~variant =
+  if variant <> 1 && variant <> 2 then
+    invalid_arg "Blocks.add_appended_path: variant must be 1 or 2";
+  let path = Proto.fresh_many proto (k + 1) in
+  (* path.(i-1) is p_i for i in 1..k+1. *)
+  let p i = if i = 0 then root else path.(i - 1) in
+  for i = 0 to k do
+    (* Edge p_i -- p_{i+1}.  Default: 0 towards the next node, 1 towards
+       the previous; the two path endpoints (root side handled by the
+       caller's numbering, far side p_{k+1}) use port 0; variant 2 swaps
+       the two ports at p_k. *)
+    let port_at_src =
+      (* port at p_i on the edge towards p_{i+1} *)
+      if i = 0 then 0 (* port 0 at the root *)
+      else if variant = 2 && i = k then 1 (* swapped at p_k *)
+      else 0
+    in
+    let port_at_dst =
+      (* port at p_{i+1} on the edge towards p_i *)
+      if i = k then 0 (* p_{k+1} has degree 1, port 0 *)
+      else if variant = 2 && i = k - 1 then 0 (* swapped at p_k *)
+      else 1
+    in
+    Proto.link proto (p i, port_at_src) (p (i + 1), port_at_dst)
+  done
+
+let add_t_x_b proto ~delta ~k ~x ~variant =
+  let root = add_augmented proto ~delta ~k ~x in
+  add_appended_path proto ~root ~k ~variant;
+  root

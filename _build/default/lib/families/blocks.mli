@@ -1,0 +1,44 @@
+(** Building blocks of Section 2.2.1, shared by the G and U classes.
+
+    - Building Block 1: rooted tree [T] of height [k]; the root has
+      ∆−2 children on ports 1..∆−2, internal nodes have ∆−1 children on
+      ports 1..∆−1 and port 0 to the parent.
+    - Building Block 2: augmented trees [T_X]: attach [x_i] pendant
+      nodes (ports 1..x_i) to the i-th leaf, leaves ordered by the
+      lexicographic order of root-to-leaf port sequences.
+    - Building Block 3: [T_{X,1}] and [T_{X,2}]: append a path
+      [r, p_1, ..., p_{k+1}] to the root (port 0 at [r] and at
+      [p_{k+1}]; each interior [p_i] points to the next node with port 0
+      and to the previous with port 1), variant 2 swapping the two ports
+      at [p_k].
+
+    Roots are left with ports [{0, ..., ∆−2}] used; the caller must
+    attach exactly one more edge at port ∆−1 to reach degree ∆. *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+(** [z delta k = (∆−2)·(∆−1)^(k−1)], the number of leaves of [T]. *)
+val z : delta:int -> k:int -> int
+
+(** [sequence_of_index ~delta ~k j] is the sequence [X] of the [j]-th
+    ([1]-based) augmented tree in lexicographic order; entries lie in
+    [1..∆−1].
+    @raise Invalid_argument if [j] is out of range [1..(∆−1)^z]. *)
+val sequence_of_index : delta:int -> k:int -> int -> int array
+
+(** [add_tree_t proto ~delta ~k] builds [T]; returns the root and the
+    leaves in lexicographic order. *)
+val add_tree_t : Proto.t -> delta:int -> k:int -> vertex * vertex array
+
+(** [add_augmented proto ~delta ~k ~x] builds [T_X]; returns the root.
+    @raise Invalid_argument if some [x.(i)] is outside [1..∆−1] or [x]
+    has length other than [z]. *)
+val add_augmented : Proto.t -> delta:int -> k:int -> x:int array -> vertex
+
+(** [add_appended_path proto ~root ~k ~variant] appends the
+    Building-Block-3 path at [root] (variant [1] or [2]). *)
+val add_appended_path : Proto.t -> root:vertex -> k:int -> variant:int -> unit
+
+(** [T_{X,variant}] in one call; returns the root [r_{X,variant}]. *)
+val add_t_x_b :
+  Proto.t -> delta:int -> k:int -> x:int array -> variant:int -> vertex

@@ -1,0 +1,138 @@
+type vertex = Shades_graph.Port_graph.vertex
+
+type t = {
+  mu : int;
+  k : int;
+  root : vertex;
+  layers : Layers.t array;
+  lk : Layers.t array;
+  w : (vertex * vertex) array;
+  w_base_degree : int array;
+}
+
+let z ~mu ~k = Layers.size ~mu ~m:k
+
+let size ~mu ~k =
+  let rec sum m acc =
+    if m = k then acc else sum (m + 1) (acc + Layers.size ~mu ~m)
+  in
+  sum 0 0 + (2 * Layers.size ~mu ~m:k)
+
+(* Inter-layer edges from L_m to L_{m+1} for 2 <= m <= k-1 (Part 2).
+   [t] selects the copy when L_m is the top inner layer feeding the two
+   copies of L_k: the second copy's ports at L_m nodes are shifted past
+   those of the first so they do not clash. *)
+let connect proto ~mu ~m (lower : Layers.t) (upper : Layers.t) ~t =
+  assert (m >= 2);
+  (* Roots. *)
+  for b = 0 to 1 do
+    Proto.link proto
+      (lower.Layers.node b [], mu + 1 + t)
+      (upper.Layers.node b [], mu)
+  done;
+  (* Interior (non-root, non-middle) nodes. *)
+  let interior_len = (m / 2) - 1 in
+  for b = 0 to 1 do
+    for len = 1 to interior_len do
+      List.iter
+        (fun sigma ->
+          Proto.link proto
+            (lower.Layers.node b sigma, mu + 2 + t)
+            (upper.Layers.node b sigma, mu + 1))
+        (Layers.sigmas mu len)
+    done
+  done;
+  (* Middles. *)
+  if m mod 2 = 0 then begin
+    (* Case 1: each glued middle reaches both trees of L_{m+1}. *)
+    let base = if m = 2 then 3 else 4 in
+    Array.iter
+      (fun sigma ->
+        let v = lower.Layers.node 0 sigma in
+        Proto.link proto
+          (v, base + (2 * t))
+          (upper.Layers.node 0 sigma, 2);
+        Proto.link proto
+          (v, base + (2 * t) + 1)
+          (upper.Layers.node 1 sigma, 2))
+      lower.Layers.middles
+  end
+  else begin
+    (* Case 2: each leaf reaches its copy and fans out to the µ middles
+       of L_{m+1} below it. *)
+    let shift = t * (mu + 1) in
+    Array.iter
+      (fun sigma ->
+        for b = 0 to 1 do
+          let v = lower.Layers.node b sigma in
+          Proto.link proto (v, 3 + shift)
+            (upper.Layers.node b sigma, mu + 1);
+          for i = 0 to mu - 1 do
+            Proto.link proto
+              (v, 4 + shift + i)
+              (upper.Layers.node b (sigma @ [ i ]), if b = 0 then 2 else 3)
+          done
+        done)
+      lower.Layers.middles
+  end
+
+let add proto ~mu ~k ~root ~port_offset =
+  if mu < 2 || k < 4 then invalid_arg "Component.add: need mu >= 2, k >= 4";
+  let layers =
+    Array.init k (fun m ->
+        if m = 0 then
+          {
+            Layers.mu;
+            m = 0;
+            roots = [| root |];
+            node = (fun _ _ -> root);
+            middles = [||];
+          }
+        else Layers.add proto ~mu ~m)
+  in
+  let lk = Array.init 2 (fun _ -> Layers.add proto ~mu ~m:k) in
+  (* L_0 -- L_1: the root fans out to the clique. *)
+  Array.iteri
+    (fun i u -> Proto.link proto (root, port_offset + i) (u, mu - 1))
+    layers.(1).Layers.roots;
+  (* L_1 -- L_2: clique node i to middle (i); the extreme clique nodes
+     also reach the two roots of L_2. *)
+  let u = layers.(1).Layers.roots in
+  for i = 0 to mu - 1 do
+    Proto.link proto (u.(i), mu) (layers.(2).Layers.node 0 [ i ], 2)
+  done;
+  Proto.link proto (u.(0), mu + 1) (layers.(2).Layers.node 0 [], mu);
+  Proto.link proto (u.(mu - 1), mu + 1) (layers.(2).Layers.node 1 [], mu);
+  (* Inner layers. *)
+  for m = 2 to k - 2 do
+    connect proto ~mu ~m layers.(m) layers.(m + 1) ~t:0
+  done;
+  (* L_{k-1} feeds both copies of L_k. *)
+  connect proto ~mu ~m:(k - 1) layers.(k - 1) lk.(0) ~t:0;
+  connect proto ~mu ~m:(k - 1) layers.(k - 1) lk.(1) ~t:1;
+  (* The w_1, ..., w_z order over layer-k nodes. *)
+  let order = Layers.w_order lk.(0) in
+  let w =
+    Array.map
+      (fun (b, sigma) ->
+        (lk.(0).Layers.node b sigma, lk.(1).Layers.node b sigma))
+      order
+  in
+  let max_len = k / 2 in
+  let w_base_degree =
+    Array.map
+      (fun (_, sigma) ->
+        let len = List.length sigma in
+        if len = 0 then mu + 1
+        else if len < max_len then mu + 2
+        else if k mod 2 = 0 then 4
+        else 3)
+      order
+  in
+  { mu; k; root; layers; lk; w; w_base_degree }
+
+let standalone ~mu ~k =
+  let proto = Proto.create () in
+  let root = Proto.fresh proto in
+  let c = add proto ~mu ~k ~root ~port_offset:0 in
+  (Proto.build proto, c)

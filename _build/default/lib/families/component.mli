@@ -1,0 +1,40 @@
+(** The component graph H of Section 4.1 (Part 2): layer graphs
+    L_0, ..., L_{k−1} plus two copies of L_k (L_{k,1} and L_{k,2}),
+    wired so that every node of H lies within distance [k] of every
+    other, yet some layer-[k] pair [w_{ℓ,1}, w_{ℓ,2}] is at distance
+    exactly [k] from any given node (Lemma 4.3) — which is where the
+    gadget index is encoded in Part 4.
+
+    The component's layer-0 node is supplied by the caller (in a gadget
+    the four components share it as ρ), with a port offset so the four
+    copies coexist. *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+type t = {
+  mu : int;
+  k : int;
+  root : vertex;  (** the layer-0 node (ρ, within a gadget) *)
+  layers : Layers.t array;  (** [layers.(m)] is L_m for m in 1..k−1 *)
+  lk : Layers.t array;  (** [lk.(0)] = L_{k,1}, [lk.(1)] = L_{k,2} *)
+  w : (vertex * vertex) array;
+      (** [w.(q-1) = (w_{q,1}, w_{q,2})], the q-th layer-k node in each
+          copy, in the Part 4 lexicographic order *)
+  w_base_degree : int array;
+      (** degree of [w_q] within H (before Part 4 adds edges) *)
+}
+
+(** Number of nodes of H including the shared root. *)
+val size : mu:int -> k:int -> int
+
+(** [z ~mu ~k] is |L_k|, the number of [w] pairs. *)
+val z : mu:int -> k:int -> int
+
+(** [add proto ~mu ~k ~root ~port_offset] builds the component, joining
+    layer 1 to [root] on ports [port_offset .. port_offset+µ−1].
+    Requires [mu >= 2] and [k >= 4]. *)
+val add : Proto.t -> mu:int -> k:int -> root:vertex -> port_offset:int -> t
+
+(** [standalone ~mu ~k] builds H alone (root port offset 0) — used to
+    test Lemma 4.3 and Fact 4.1 directly. *)
+val standalone : mu:int -> k:int -> Shades_graph.Port_graph.t * t

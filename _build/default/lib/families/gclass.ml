@@ -1,0 +1,91 @@
+type vertex = Shades_graph.Port_graph.vertex
+
+type params = { delta : int; k : int }
+
+let check { delta; k } =
+  if delta < 3 || k < 1 then
+    invalid_arg "Gclass: need delta >= 3 and k >= 1"
+
+let leaves_z p =
+  check p;
+  Blocks.z ~delta:p.delta ~k:p.k
+
+let num_graphs p =
+  let z = leaves_z p in
+  let base = p.delta - 1 in
+  (* (∆−1)^z with overflow detection. *)
+  let rec go acc e =
+    if e = 0 then Some acc
+    else if acc > max_int / base then None
+    else go (acc * base) (e - 1)
+  in
+  go 1 z
+
+let num_graphs_log2 p =
+  let z = leaves_z p in
+  float_of_int z *. (log (float_of_int (p.delta - 1)) /. log 2.0)
+
+type tree_meta = { j : int; b : int; copy : int; root : vertex }
+
+type t = {
+  params : params;
+  i : int;
+  graph : Shades_graph.Port_graph.t;
+  cycle : vertex array;
+  trees : tree_meta list;
+  special_root : vertex;
+}
+
+let build ({ delta; k } as params) ~i =
+  check params;
+  (match num_graphs params with
+  | Some count when i >= 1 && i <= count -> ()
+  | Some _ -> invalid_arg "Gclass.build: i out of range"
+  | None ->
+      if i < 1 then invalid_arg "Gclass.build: i out of range");
+  let proto = Proto.create () in
+  let add_tree j b =
+    let x = Blocks.sequence_of_index ~delta ~k j in
+    Blocks.add_t_x_b proto ~delta ~k ~x ~variant:b
+  in
+  (* Hanging trees in cycle order: c_{4j−3} and c_{4j−2} carry the two
+     copies of T_{j,1}; c_{4j−1} carries (the first copy of) T_{j,2};
+     c_{4j'} carries the second copy of T_{j',2} for j' < i only, so the
+     cycle has 4i−1 nodes and T_{i,2} is unique. *)
+  let trees = ref [] in
+  let attach_order = ref [] in
+  for j = 1 to i do
+    let r1 = add_tree j 1 in
+    trees := { j; b = 1; copy = 1; root = r1 } :: !trees;
+    let r2 = add_tree j 1 in
+    trees := { j; b = 1; copy = 2; root = r2 } :: !trees;
+    let r3 = add_tree j 2 in
+    trees := { j; b = 2; copy = 1; root = r3 } :: !trees;
+    if j < i then begin
+      let r4 = add_tree j 2 in
+      trees := { j; b = 2; copy = 2; root = r4 } :: !trees;
+      attach_order := r4 :: r3 :: r2 :: r1 :: !attach_order
+    end
+    else attach_order := r3 :: r2 :: r1 :: !attach_order
+  done;
+  let attach_order = Array.of_list (List.rev !attach_order) in
+  let m = (4 * i) - 1 in
+  assert (Array.length attach_order = m);
+  let cycle = Proto.fresh_many proto m in
+  for idx = 0 to m - 1 do
+    (* Cycle edge c_m -- c_{m+1}: 0 at c_m, 1 at c_{m+1}. *)
+    Proto.link proto (cycle.(idx), 0) (cycle.((idx + 1) mod m), 1);
+    (* Tree edge: port 2 at the cycle node, ∆−1 at the root. *)
+    Proto.link proto (cycle.(idx), 2) (attach_order.(idx), delta - 1)
+  done;
+  let special_root =
+    (List.find (fun t -> t.j = i && t.b = 2) !trees).root
+  in
+  {
+    params;
+    i;
+    graph = Proto.build proto;
+    cycle;
+    trees = List.rev !trees;
+    special_root;
+  }

@@ -1,0 +1,56 @@
+(** The class G_{∆,k} of Section 2.2: the Selection lower bound.
+
+    Each graph [G_i] (for [i] in [1..(∆−1)^z]) is a cycle [C_i] of
+    [4i−1] nodes, each cycle node carrying one hanging tree: two copies
+    of [T_{j,1}] and two of [T_{j,2}] for the smaller indices, but only
+    {e one} copy of [T_{i,2}] — whose root [r_{i,2}] is therefore the
+    unique node with a unique view at depth [k] (Lemma 2.6), making
+    ψ_S(G_i) = k (Lemma 2.7) while distinguishing the graphs requires
+    advice Ω((∆−1)^k log ∆) (Theorem 2.9).
+
+    {b Reproduction finding}: the paper's Lemma 2.6 case analysis omits
+    the non-root nodes of [T_{i,2}].  For [i >= 2] they have twins (the
+    augmented-tree part in the copies of [T_{i,1}], the appended path in
+    the duplicated [T_{j,2}] with [j < i]), so the lemma holds; but in
+    the degenerate [G_1] no other variant-2 tree exists and the
+    appended-path nodes of [T_{1,2}] can see the port swap at [p_k]
+    within distance [k−1], giving ψ_S(G_1) = 1 for every [k].  We
+    verified this computationally; all lemma-level guarantees therefore
+    apply to [i >= 2] only (which leaves (∆−1)^z − 1 graphs and does not
+    affect the asymptotic lower bound). *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+type params = { delta : int; k : int }
+(** Requires [delta >= 3] and [k >= 1]. *)
+
+(** Number of leaves [z = (∆−2)(∆−1)^{k−1}] of the underlying tree. *)
+val leaves_z : params -> int
+
+(** [|T_{∆,k}| = |G_{∆,k}| = (∆−1)^z] (Fact 2.3); [None] when it
+    overflows the native integer range. *)
+val num_graphs : params -> int option
+
+(** [log2 |G_{∆,k}|], always computable. *)
+val num_graphs_log2 : params -> float
+
+(** Metadata of one hanging tree instance inside a built [G_i]. *)
+type tree_meta = {
+  j : int;  (** tree index, 1-based *)
+  b : int;  (** variant: 1 or 2 *)
+  copy : int;  (** 1 or 2 (the sole [T_{i,2}] is copy 1) *)
+  root : vertex;  (** the node [r_{j,b}] of this instance *)
+}
+
+type t = {
+  params : params;
+  i : int;
+  graph : Shades_graph.Port_graph.t;
+  cycle : vertex array;  (** [cycle.(m-1)] is [c_m], [m] in [1..4i−1] *)
+  trees : tree_meta list;
+  special_root : vertex;  (** [r_{i,2}]: the unique-view node *)
+}
+
+(** [build params ~i] constructs [G_i].
+    @raise Invalid_argument if [i] is outside [1..(∆−1)^z]. *)
+val build : params -> i:int -> t

@@ -1,0 +1,99 @@
+(** The class J_{µ,k} of Section 4: the PPE/CPPE lower bound.
+
+    A gadget Ĥ is four components H (called L, T, R, B) sharing their
+    layer-0 node ρ (degree 4µ).  2^z gadgets (z = |L_k|) are chained:
+    the binary representation of the gadget index is encoded by
+    degree-raising edges at the layer-k pairs (w_{q,1}, w_{q,2}) of the
+    T/L components (and of the successor index in B/R), and consecutive
+    gadgets are joined by crossing edges between their R and L layer-k
+    nodes.  A class member J_Y swaps, per bit of Y, the R/B port groups
+    at a left-half ρ and the L/T groups at the mirrored right-half ρ.
+
+    ψ_S = ψ_PPE = ψ_CPPE = k (Lemmas 4.7-4.9), yet advice
+    Ω(2^{∆^{k/6}}) is needed for PPE/CPPE in minimum time
+    (Theorems 4.11/4.12): a border node's k-view is Y-independent, so
+    its port-path output cannot adapt to the swaps it must route
+    through.
+
+    {b Scaling substitution}: the full template has 2^z gadgets (2^17
+    already at µ=3, k=4), so [build] takes [z_eff <= z] and chains
+    2^[z_eff] gadgets, encoding indices in the first [z_eff] pairs
+    (bit q of an index i < 2^{z_eff} is zero for q > z_eff, so this is
+    the paper's rule verbatim on a shorter chain).  Properties local to
+    gadgets and their neighbours are unaffected; only claims requiring
+    the full index space (exact ψ_S = k for every node) need the full
+    chain, and are tested on interior samples instead.
+
+    {b Reproduction findings}: (1) the informal claim that every node of
+    H sees all of H within distance [k] is false — layer-k nodes on
+    opposite tree sides of the two L_k copies are at distance k+1; the
+    W-decoding survives because each added edge raises the degrees of
+    both [w_{q,1}] and [w_{q,2}] and every node sees at least one of
+    each pair within [k] (verified computationally).  (2) For µ = 2 the
+    ρ nodes are not the strict maximum-degree nodes (doubly-connected
+    L_{k−1} middles reach degree 2µ+5 > 4µ when k is even, and tie at
+    4µ = 8 when k is odd), so Lemma 4.8's first step needs µ >= 3 —
+    consistent with Theorem 4.11's µ = ⌈∆/4⌉ >= 4. *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+type params = { mu : int; k : int; z_eff : int }
+(** Requires [mu >= 3], [k >= 4], [1 <= z_eff <= z(mu, k)]. *)
+
+(** [z ~mu ~k = |L_k|], the number of w-pairs per component. *)
+val z : mu:int -> k:int -> int
+
+(** Number of gadgets in the (possibly scaled) chain: 2^[z_eff]. *)
+val num_gadgets : params -> int
+
+(** log2 of the full class size: |J_{µ,k}| = 2^{2^{z−1}} (Fact 4.2), so
+    this returns 2^{z−1} as a float. *)
+val class_size_log2 : mu:int -> k:int -> float
+
+type gadget = {
+  rho : vertex;
+  components : Component.t array;
+      (** logical L, T, R, B at indices 0..3 (port groups at ρ reflect
+          the Y swaps) *)
+  first_vertex : vertex;
+  last_vertex : vertex;
+}
+
+type t = {
+  params : params;
+  y : bool array;  (** length 2^{z_eff − 1} *)
+  graph : Shades_graph.Port_graph.t;
+  gadgets : gadget array;
+}
+
+(** [build params ~y] constructs J_Y (scaled to 2^{z_eff} gadgets).
+    @raise Invalid_argument if [|y| <> 2^{z_eff − 1}]. *)
+val build : params -> y:bool array -> t
+
+(** The all-zeros Y (the template itself). *)
+val y_zero : params -> bool array
+
+(** Which gadget a vertex belongs to. *)
+val gadget_of_vertex : t -> vertex -> int
+
+(** [w_values t ~gadget] decodes, for each logical component (L, T, R,
+    B), the integer written in its layer-k degrees, reading bit [q] from
+    whichever of [w_{q,1}], [w_{q,2}] is convenient.  Expected: L and T
+    encode the gadget index, R and B its successor (0 at the chain
+    ends). *)
+val w_values : t -> gadget:int -> int array
+
+(** The Lemma 4.8 assignment: ρ of gadget 0 is the leader and every
+    other node outputs the complete port path (its shortest path to its
+    own ρ, merged into the inter-ρ chain).  Constant on depth-k view
+    classes — checked by {!cppe_scheme}'s oracle. *)
+val cppe_assignment : t -> (int * int) list Shades_election.Task.answer array
+
+(** Minimum-time CPPE scheme for this instance: the advice is a table
+    from canonical depth-k view keys to outputs (built from
+    {!cppe_assignment}; the oracle raises if the assignment is not
+    class-constant).  [decide] looks its own view up; unknown views
+    (possible only under forced foreign advice in fooling experiments)
+    yield the invalid empty route. *)
+val cppe_scheme :
+  t -> (int * int) list Shades_election.Task.answer Shades_election.Scheme.t

@@ -1,0 +1,144 @@
+type vertex = Shades_graph.Port_graph.vertex
+
+type t = {
+  mu : int;
+  m : int;
+  roots : vertex array;
+  node : int -> int list -> vertex;
+  middles : int list array;
+}
+
+let ipow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let size ~mu ~m =
+  if mu < 2 || m < 0 then invalid_arg "Layers.size";
+  if m = 0 then 1
+  else if m = 1 then mu
+  else begin
+    let j = m / 2 in
+    if m mod 2 = 0 then (ipow mu (j + 1) + ipow mu j - 2) / (mu - 1)
+    else 2 * (ipow mu (j + 1) - 1) / (mu - 1)
+  end
+
+(* All σ over {0..µ−1} with |σ| = len, in lexicographic order. *)
+let sigmas mu len =
+  let rec go len =
+    if len = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun sigma -> List.init mu (fun c -> sigma @ [ c ]))
+        (go (len - 1))
+  in
+  go len
+
+let add proto ~mu ~m =
+  if mu < 2 || m < 0 then invalid_arg "Layers.add";
+  let tbl : (int * int list, vertex) Hashtbl.t = Hashtbl.create 64 in
+  let register b sigma v = Hashtbl.replace tbl (b, sigma) v in
+  let node b sigma = Hashtbl.find tbl (b, sigma) in
+  let middles = ref [] in
+  let roots =
+    if m = 0 then begin
+      let v = Proto.fresh proto in
+      register 0 [] v;
+      register 1 [] v;
+      [| v |]
+    end
+    else if m = 1 then begin
+      (* µ-clique; at node i the port towards node i' is the index of i'
+         among the others, using ports 0..µ−2. *)
+      let us = Proto.fresh_many proto mu in
+      let port i i' = if i' < i then i' else i' - 1 in
+      for i = 0 to mu - 1 do
+        register 0 [ i ] us.(i);
+        register 1 [ i ] us.(i);
+        for i' = i + 1 to mu - 1 do
+          Proto.link proto (us.(i), port i i') (us.(i'), port i' i)
+        done
+      done;
+      us
+    end
+    else begin
+      let j = m / 2 in
+      let even = m mod 2 = 0 in
+      let leaf_len = if even then j else (m - 1) / 2 in
+      (* Internal tree nodes (|σ| < leaf_len) exist separately in both
+         trees; build them top-down. *)
+      let r0 = Proto.fresh proto and r1 = Proto.fresh proto in
+      register 0 [] r0;
+      register 1 [] r1;
+      for b = 0 to 1 do
+        for len = 1 to leaf_len - 1 do
+          List.iter
+            (fun sigma -> register b sigma (Proto.fresh proto))
+            (sigmas mu len)
+        done
+      done;
+      (* Leaf/middle nodes. *)
+      List.iter
+        (fun sigma ->
+          if even then begin
+            (* one merged node for both trees *)
+            let v = Proto.fresh proto in
+            register 0 sigma v;
+            register 1 sigma v
+          end
+          else begin
+            register 0 sigma (Proto.fresh proto);
+            register 1 sigma (Proto.fresh proto)
+          end;
+          middles := sigma :: !middles)
+        (sigmas mu leaf_len);
+      (* Tree edges: parent (b,σ) -- child (b,σ+[c]) on port c at the
+         parent; at the child, port µ if internal, else port 0 for a
+         plain leaf, or port b for a glued middle. *)
+      for b = 0 to 1 do
+        for len = 0 to leaf_len - 1 do
+          List.iter
+            (fun sigma ->
+              let parent = node b sigma in
+              for c = 0 to mu - 1 do
+                let child_sigma = sigma @ [ c ] in
+                let child = node b child_sigma in
+                let child_port =
+                  if List.length child_sigma < leaf_len then mu
+                  else if even then b
+                  else 0
+                in
+                Proto.link proto (parent, c) (child, child_port)
+              done)
+            (sigmas mu len)
+        done
+      done;
+      (* Odd layers: join corresponding leaves, both ports 1. *)
+      if not even then
+        List.iter
+          (fun sigma ->
+            Proto.link proto (node 0 sigma, 1) (node 1 sigma, 1))
+          (sigmas mu leaf_len);
+      [| r0; r1 |]
+    end
+  in
+  { mu; m; roots; node; middles = Array.of_list (List.rev !middles) }
+
+let w_order t =
+  if t.m < 2 then invalid_arg "Layers.w_order: need m >= 2";
+  let max_len = t.m / 2 in
+  let even = t.m mod 2 = 0 in
+  let addrs = ref [] in
+  for b = 0 to 1 do
+    for len = 0 to max_len do
+      (* An even-layer middle has two addresses; keep only (0, σ). *)
+      if not (even && b = 1 && len = max_len) then
+        List.iter
+          (fun sigma -> addrs := (b, sigma) :: !addrs)
+          (sigmas t.mu len)
+    done
+  done;
+  let arr = Array.of_list !addrs in
+  Array.sort
+    (fun (b1, s1) (b2, s2) -> Stdlib.compare (b1 :: s1) (b2 :: s2))
+    arr;
+  arr

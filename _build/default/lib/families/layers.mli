@@ -1,0 +1,44 @@
+(** Layer graphs L_0, ..., L_k of Section 4.1 (Part 1).
+
+    [L_0] is a point, [L_1] a µ-clique, [L_{2j}] two full µ-ary trees of
+    height [j] glued along their leaves (the "middle" nodes), and
+    [L_{2j+1}] two such trees with corresponding leaves joined by an
+    edge.  [L_j] has diameter [j].
+
+    Nodes are addressed as [v^m_b σ]: starting from root [b] of layer
+    [m] and following outgoing ports [σ].  In even layers the two
+    addresses [(0, σ)] and [(1, σ)] of a middle node resolve to the same
+    vertex. *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+type t = {
+  mu : int;
+  m : int;  (** layer index *)
+  roots : vertex array;
+      (** [r^m_0; r^m_1] for [m >= 2]; the µ clique nodes for [m = 1]
+          (indexed by the port at [r^0_0] that will lead to them); the
+          single node for [m = 0]. *)
+  node : int -> int list -> vertex;
+      (** [node b sigma] is [v^m_b σ].
+          @raise Not_found for invalid addresses. *)
+  middles : int list array;
+      (** the middle-node addresses [σ] (empty for [m <= 1]) *)
+}
+
+(** Number of nodes of [L_m] (Fact 4.1). *)
+val size : mu:int -> m:int -> int
+
+(** [sigmas mu len]: all sequences over [0..µ−1] of length [len], in
+    lexicographic order. *)
+val sigmas : int -> int -> int list list
+
+(** [add proto ~mu ~m] builds [L_m] into [proto].
+    @raise Invalid_argument if [mu < 2] or [m < 0]. *)
+val add : Proto.t -> mu:int -> m:int -> t
+
+(** All valid [(b, σ)] addresses with [|σ| <= ⌊m/2⌋], deduplicated (for
+    even-layer middles only the [b = 0] address is kept), sorted by the
+    lexicographic order of [b :: σ] — the [w_1, ..., w_z] order used in
+    Part 4 of the construction. *)
+val w_order : t -> (int * int list) array

@@ -1,0 +1,22 @@
+type t = {
+  mutable n : int;
+  mutable edges :
+    ((Shades_graph.Port_graph.vertex * int)
+    * (Shades_graph.Port_graph.vertex * int))
+    list;
+}
+
+let create () = { n = 0; edges = [] }
+
+let fresh t =
+  let v = t.n in
+  t.n <- t.n + 1;
+  v
+
+let fresh_many t n = Array.init n (fun _ -> fresh t)
+
+let link t e1 e2 = t.edges <- (e1, e2) :: t.edges
+
+let order t = t.n
+
+let build t = Shades_graph.Port_graph.of_edges t.n (List.rev t.edges)

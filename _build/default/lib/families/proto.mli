@@ -1,0 +1,30 @@
+(** Incremental graph construction with vertex allocation.
+
+    The paper's families are assembled from building blocks whose nodes
+    only reach their final, port-contiguous degree once every block is
+    wired up; this helper accumulates vertices and port-labeled edges
+    freely and validates once at {!build}. *)
+
+type t
+
+val create : unit -> t
+
+(** Allocate a fresh vertex. *)
+val fresh : t -> Shades_graph.Port_graph.vertex
+
+(** Allocate [n] fresh vertices, returned in order. *)
+val fresh_many : t -> int -> Shades_graph.Port_graph.vertex array
+
+(** [link t (v, p) (u, q)] records the edge; duplicates and port clashes
+    are caught at {!build}. *)
+val link :
+  t -> Shades_graph.Port_graph.vertex * int ->
+  Shades_graph.Port_graph.vertex * int -> unit
+
+(** Vertices allocated so far. *)
+val order : t -> int
+
+(** Validate and produce the graph.
+    @raise Invalid_argument on port clashes, duplicate edges, or
+    non-contiguous ports. *)
+val build : t -> Shades_graph.Port_graph.t

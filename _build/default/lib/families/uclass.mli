@@ -1,0 +1,54 @@
+(** The class U_{∆,k} of Section 3: the Port Election lower bound.
+
+    A template graph [U] hangs all trees [T_{j,b}] ([j] in [1..y] where
+    [y = |T_{∆,k}| = (∆−1)^z], [b] in [{1,2}]) on a cycle of their
+    roots, and attaches to each [r_{j,1}] and [r_{j,2}] (via a path of
+    length [k+1] on port ∆) a "heavy" copy of [T_{j,1}] — the nodes
+    [r_{j,1,1}], [r_{j,1,2}] of degree 2∆−1 — which also carries ∆−1
+    decoy paths of length [k+1] on ports ∆..2∆−2.  A graph [G_σ] is
+    obtained by swapping ports ∆−1 and ∆−1+σ_j at both heavy nodes of
+    each [j]: the heavy node's first port towards the cycle becomes
+    σ-dependent, but its view at depth [k] does not, so Port Election in
+    minimum time ψ_PE = ψ_S = k (Lemma 3.9) needs the oracle to reveal
+    essentially all of σ — advice Ω((∆−1)^{|T_{∆,k}|} log ∆)
+    (Theorem 3.11). *)
+
+type vertex = Shades_graph.Port_graph.vertex
+
+type params = { delta : int; k : int }
+(** Requires [delta >= 4] and [k >= 1]. *)
+
+(** [y = |T_{∆,k}| = (∆−1)^{(∆−2)(∆−1)^{k−1}}]; [None] on overflow. *)
+val num_trees : params -> int option
+
+(** [log2 |U_{∆,k}|] where [|U_{∆,k}| = (∆−1)^y] (Fact 3.1). *)
+val num_graphs_log2 : params -> float
+
+type t = {
+  params : params;
+  sigma : int array;  (** σ, one entry in [1..∆−1] per tree index *)
+  graph : Shades_graph.Port_graph.t;
+  cycle_roots : vertex array array;
+      (** [cycle_roots.(j-1).(b-1)] is [r_{j,b}] *)
+  heavy : vertex array array;
+      (** [heavy.(j-1).(c-1)] is [r_{j,1,c}] *)
+}
+
+(** [build params ~sigma] constructs [G_σ].
+    @raise Invalid_argument if [|sigma| <> y] or entries leave
+    [1..∆−1]. *)
+val build : params -> sigma:int array -> t
+
+(** [uniform_sigma params s] is the all-[s] sequence (σ with every
+    [σ_j = s]), a convenient class member. *)
+val uniform_sigma : params -> int -> int array
+
+(** The node [r_min]: the cycle root whose [B^k] is lexicographically
+    smallest — the leader that the Lemma 3.9 algorithm elects. *)
+val rmin : t -> vertex
+
+(** The minimum-time Port Election scheme of Lemma 3.9.  Advice is the
+    full map; every node classifies itself by degree (light / cycle /
+    heavy) and outputs its first port towards the leader.  Runs in
+    exactly [k] rounds. *)
+val pe_scheme : int Shades_election.Task.answer Shades_election.Scheme.t

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Fun Hashtbl Int List Port_graph Random

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Hashtbl List Port_graph Queue

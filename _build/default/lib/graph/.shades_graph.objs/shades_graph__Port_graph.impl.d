@@ -1,0 +1,1 @@
+lib/graph/port_graph.ml: Array Buffer Format Fun Hashtbl List Option Printf Queue Shades_bits

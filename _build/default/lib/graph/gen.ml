@@ -1,0 +1,154 @@
+let path_with_ports spec =
+  let n = List.length spec + 1 in
+  if n < 2 then invalid_arg "Gen.path_with_ports: need at least one edge";
+  Port_graph.of_edges n
+    (List.mapi (fun i (p, q) -> ((i, p), (i + 1, q))) spec)
+
+let path n =
+  if n < 2 then invalid_arg "Gen.path";
+  (* Port 0 always leads right; an interior vertex's port 1 leads left. *)
+  path_with_ports
+    (List.init (n - 1) (fun i -> (0, if i = n - 2 then 0 else 1)))
+
+let oriented_ring n =
+  if n < 3 then invalid_arg "Gen.oriented_ring";
+  Port_graph.of_edges n
+    (List.init n (fun i -> ((i, 0), ((i + 1) mod n, 1))))
+
+let clique n =
+  if n < 2 then invalid_arg "Gen.clique";
+  let port v u = if u < v then u else u - 1 in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for u = v + 1 to n - 1 do
+      edges := ((v, port v u), (u, port u v)) :: !edges
+    done
+  done;
+  Port_graph.of_edges n !edges
+
+let star n =
+  if n < 2 then invalid_arg "Gen.star";
+  Port_graph.of_edges n (List.init (n - 1) (fun i -> ((0, i), (i + 1, 0))))
+
+let hypercube d =
+  if d < 1 then invalid_arg "Gen.hypercube";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for i = 0 to d - 1 do
+      let u = v lxor (1 lsl i) in
+      if v < u then edges := ((v, i), (u, i)) :: !edges
+    done
+  done;
+  Port_graph.of_edges n !edges
+
+let all_labelings n edges =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (v, u) ->
+      adj.(v) <- u :: adj.(v);
+      adj.(u) <- v :: adj.(u))
+    edges;
+  let nbrs = Array.map (fun l -> Array.of_list (List.sort Int.compare l)) adj in
+  let rec factorial k = if k <= 1 then 1 else k * factorial (k - 1) in
+  let total =
+    Array.fold_left (fun acc a -> acc * factorial (Array.length a)) 1 nbrs
+  in
+  if total > 200_000 then
+    invalid_arg "Gen.all_labelings: too many labelings";
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun rest -> x :: rest)
+              (permutations (List.filter (( <> ) x) l)))
+          l
+  in
+  let perms_of v =
+    permutations (List.init (Array.length nbrs.(v)) Fun.id)
+    |> List.map Array.of_list
+  in
+  (* cartesian product of per-vertex permutations *)
+  let rec assignments v =
+    if v = n then [ [||] ]
+    else begin
+      let rest = assignments (v + 1) in
+      List.concat_map
+        (fun perm -> List.map (fun a -> Array.append [| perm |] a) rest)
+        (perms_of v)
+    end
+  in
+  List.map
+    (fun assignment ->
+      (* port of u at v: position of u among v's sorted neighbours,
+         permuted by v's assignment *)
+      let port v u =
+        let rec index i = if nbrs.(v).(i) = u then i else index (i + 1) in
+        assignment.(v).(index 0)
+      in
+      Port_graph.of_edges n
+        (List.map (fun (v, u) -> ((v, port v u), (u, port u v))) edges))
+    (assignments 0)
+
+let random st n ~extra_edges =
+  if n < 2 then invalid_arg "Gen.random";
+  (* Random spanning tree: attach each vertex to a uniformly random
+     earlier one, then sprinkle extra edges, then shuffle ports. *)
+  let adj = Array.make n [] in
+  let add v u =
+    adj.(v) <- u :: adj.(v);
+    adj.(u) <- v :: adj.(u)
+  in
+  for v = 1 to n - 1 do
+    add v (Random.State.int st v)
+  done;
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra_edges && !attempts < 20 * (extra_edges + 1) do
+    incr attempts;
+    let v = Random.State.int st n and u = Random.State.int st n in
+    if v <> u && not (List.mem u adj.(v)) then begin
+      add v u;
+      incr added
+    end
+  done;
+  let shuffle a =
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done
+  in
+  (* Assign random ports: for each vertex a random permutation of its
+     incident edges. *)
+  let next_port = Array.make n 0 in
+  let perms =
+    Array.init n (fun v ->
+        let a = Array.of_list adj.(v) in
+        shuffle a;
+        a)
+  in
+  let port_of = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun v nbrs ->
+      Array.iter
+        (fun u ->
+          Hashtbl.replace port_of (v, u) next_port.(v);
+          next_port.(v) <- next_port.(v) + 1)
+        nbrs)
+    perms;
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun u ->
+        if v < u then
+          edges :=
+            ( (v, Hashtbl.find port_of (v, u)),
+              (u, Hashtbl.find port_of (u, v)) )
+            :: !edges)
+      adj.(v)
+  done;
+  Port_graph.of_edges n !edges

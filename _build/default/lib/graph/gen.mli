@@ -1,0 +1,41 @@
+(** Generators for common port-labeled graphs. *)
+
+(** [path_with_ports spec] builds a path [v0 - v1 - ... - vk] where
+    [spec = [(p1, q1); ...; (pk, qk)]] gives the port at the left and
+    right endpoint of each successive edge.  The paper's 3-node line with
+    ports 0,0,1,0 is [path_with_ports [(0, 0); (1, 0)]]. *)
+val path_with_ports : (int * int) list -> Port_graph.t
+
+(** [path n] is the path on [n >= 2] vertices where port 0 leads towards
+    higher indices and port 1 towards lower indices. *)
+val path : int -> Port_graph.t
+
+(** [oriented_ring n] is the cycle [c0, ..., c_{n-1}] ([n >= 3]) where at
+    every node port 0 leads to the successor and port 1 to the
+    predecessor (the paper's "ports alternately labeled 0 and 1"). *)
+val oriented_ring : int -> Port_graph.t
+
+(** [clique n] is the complete graph: at [v], ports enumerate the other
+    vertices in increasing index order. *)
+val clique : int -> Port_graph.t
+
+(** [star n] has center 0 joined to [n - 1] leaves; leaf ports are 0. *)
+val star : int -> Port_graph.t
+
+(** [random st n ~extra_edges] is a connected random graph: a random
+    spanning tree plus [extra_edges] random additional edges (skipping
+    duplicates), with ports assigned in random order per vertex. *)
+val random : Random.State.t -> int -> extra_edges:int -> Port_graph.t
+
+(** [hypercube d] is the [d]-dimensional hypercube on [2^d] vertices
+    with the natural dimensional port labeling (port [i] flips bit [i]
+    at both endpoints) — a highly symmetric, infeasible network. *)
+val hypercube : int -> Port_graph.t
+
+(** [all_labelings n edges] enumerates {e every} port labeling of the
+    simple connected graph given by its unordered [edges]: the product
+    over vertices of all permutations of their incident edges.  The
+    election index of an anonymous network depends on the labeling, not
+    just the topology; this drives the labeling-sensitivity experiments.
+    @raise Invalid_argument if there are more than 200_000 labelings. *)
+val all_labelings : int -> (int * int) list -> Port_graph.t list

@@ -1,0 +1,44 @@
+let rooted_isomorphic a va b vb =
+  let n = Port_graph.order a in
+  if n <> Port_graph.order b then false
+  else begin
+    (* Ports make the pairing propagate deterministically from the root:
+       matched vertices must agree on degree and, per port, on the far
+       port and the far vertices' pairing. *)
+    let fwd = Array.make n (-1) and bwd = Array.make n (-1) in
+    let queue = Queue.create () in
+    let ok = ref true in
+    let match_pair x y =
+      if fwd.(x) = -1 && bwd.(y) = -1 then begin
+        fwd.(x) <- y;
+        bwd.(y) <- x;
+        Queue.add (x, y) queue
+      end
+      else if fwd.(x) <> y then ok := false
+    in
+    match_pair va vb;
+    while !ok && not (Queue.is_empty queue) do
+      let x, y = Queue.take queue in
+      let d = Port_graph.degree a x in
+      if d <> Port_graph.degree b y then ok := false
+      else
+        for p = 0 to d - 1 do
+          if !ok then begin
+            let x', q = Port_graph.neighbor a x p in
+            let y', q' = Port_graph.neighbor b y p in
+            if q <> q' then ok := false else match_pair x' y'
+          end
+        done
+    done;
+    (* Connectivity of [a] guarantees everything got matched. *)
+    !ok && Array.for_all (fun v -> v >= 0) fwd
+  end
+
+let isomorphic a b =
+  let n = Port_graph.order a in
+  if n <> Port_graph.order b then false
+  else
+    let rec try_root vb =
+      vb < n && (rooted_isomorphic a 0 b vb || try_root (vb + 1))
+    in
+    try_root 0

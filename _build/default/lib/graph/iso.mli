@@ -1,0 +1,14 @@
+(** Port-preserving isomorphism for small graphs (oracle-side testing
+    aid).  Two port-labeled graphs are isomorphic when a bijection of
+    vertices preserves adjacency and both port numbers of every edge. *)
+
+(** [isomorphic a b] decides port-preserving isomorphism by backtracking;
+    intended for graphs up to a few hundred vertices (connected graphs
+    are cheap: fixing one image propagates deterministically). *)
+val isomorphic : Port_graph.t -> Port_graph.t -> bool
+
+(** [rooted_isomorphic a va b vb] additionally requires the bijection to
+    send [va] to [vb].  For connected graphs this is decidable in linear
+    time because ports make the unfolding deterministic. *)
+val rooted_isomorphic :
+  Port_graph.t -> Port_graph.vertex -> Port_graph.t -> Port_graph.vertex -> bool

@@ -1,0 +1,130 @@
+type vertex = Port_graph.vertex
+
+let bfs_distances g v =
+  let n = Port_graph.order g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(v) <- 0;
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.take queue in
+    for p = 0 to Port_graph.degree g x - 1 do
+      let u = Port_graph.neighbor_vertex g x p in
+      if dist.(u) = max_int then begin
+        dist.(u) <- dist.(x) + 1;
+        Queue.add u queue
+      end
+    done
+  done;
+  dist
+
+let is_connected g =
+  let dist = bfs_distances g 0 in
+  Array.for_all (fun d -> d < max_int) dist
+
+let diameter g =
+  if not (is_connected g) then invalid_arg "Paths.diameter: disconnected";
+  let n = Port_graph.order g in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    Array.iter (fun d -> if d > !best then best := d) (bfs_distances g v)
+  done;
+  !best
+
+let shortest_path g v u =
+  let n = Port_graph.order g in
+  let parent = Array.make n (-1) in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(v) <- 0;
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.take queue in
+    (* Scanning ports in increasing order makes parents deterministic. *)
+    for p = 0 to Port_graph.degree g x - 1 do
+      let y = Port_graph.neighbor_vertex g x p in
+      if dist.(y) = max_int then begin
+        dist.(y) <- dist.(x) + 1;
+        parent.(y) <- x;
+        Queue.add y queue
+      end
+    done
+  done;
+  if dist.(u) = max_int then None
+  else begin
+    let rec build acc x = if x = v then v :: acc else build (x :: acc) parent.(x) in
+    Some (build [] u)
+  end
+
+let ports_of_walk g vs =
+  let rec go = function
+    | [] | [ _ ] -> []
+    | v :: (u :: _ as rest) -> (
+        match Port_graph.port_to g v u with
+        | Some p -> p :: go rest
+        | None -> invalid_arg "Paths.ports_of_walk: not adjacent")
+  in
+  go vs
+
+let full_ports_of_walk g vs =
+  let rec go = function
+    | [] | [ _ ] -> []
+    | v :: (u :: _ as rest) -> (
+        match Port_graph.port_to g v u with
+        | Some p ->
+            let _, q = Port_graph.neighbor g v p in
+            p :: q :: go rest
+        | None -> invalid_arg "Paths.full_ports_of_walk: not adjacent")
+  in
+  go vs
+
+let walk_of_ports g v ps =
+  let rec go acc x = function
+    | [] -> Some (List.rev (x :: acc))
+    | p :: rest ->
+        if p < 0 || p >= Port_graph.degree g x then None
+        else go (x :: acc) (Port_graph.neighbor_vertex g x p) rest
+  in
+  go [] v ps
+
+let is_simple vs =
+  let tbl = Hashtbl.create 16 in
+  List.for_all
+    (fun v ->
+      if Hashtbl.mem tbl v then false
+      else begin
+        Hashtbl.add tbl v ();
+        true
+      end)
+    vs
+
+let connected_avoiding g ~avoid v u =
+  if v = avoid || u = avoid then
+    invalid_arg "Paths.connected_avoiding: endpoint is the avoided vertex";
+  if v = u then true
+  else begin
+    let n = Port_graph.order g in
+    let seen = Array.make n false in
+    seen.(avoid) <- true;
+    seen.(v) <- true;
+    let queue = Queue.create () in
+    Queue.add v queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x = Queue.take queue in
+      for p = 0 to Port_graph.degree g x - 1 do
+        let y = Port_graph.neighbor_vertex g x p in
+        if not seen.(y) then begin
+          seen.(y) <- true;
+          if y = u then found := true else Queue.add y queue
+        end
+      done
+    done;
+    !found
+  end
+
+let simple_path_ports g v u =
+  (* A BFS shortest path is simple. *)
+  match shortest_path g v u with
+  | None -> None
+  | Some vs -> Some (ports_of_walk g vs)

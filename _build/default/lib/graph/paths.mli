@@ -1,0 +1,46 @@
+(** Traversal and path queries on port-labeled graphs.
+
+    All functions are oracle-side: they use vertex indices, which anonymous
+    nodes do not have.  The task verifiers and the minimum-time algorithms
+    with a full map both rely on them. *)
+
+type vertex = Port_graph.vertex
+
+(** [bfs_distances g v] maps each vertex to its hop distance from [v]
+    ([max_int] if unreachable). *)
+val bfs_distances : Port_graph.t -> vertex -> int array
+
+val is_connected : Port_graph.t -> bool
+
+(** Maximum eccentricity. @raise Invalid_argument if disconnected. *)
+val diameter : Port_graph.t -> int
+
+(** [shortest_path g v u] is the vertex sequence of a BFS shortest path
+    from [v] to [u] (inclusive), [None] if unreachable.  Ties are broken
+    towards the lowest-port parent, so the result is deterministic. *)
+val shortest_path : Port_graph.t -> vertex -> vertex -> vertex list option
+
+(** [ports_of_walk g vs] turns a vertex walk into the list of outgoing
+    ports along it. @raise Invalid_argument if consecutive vertices are
+    not adjacent. *)
+val ports_of_walk : Port_graph.t -> vertex list -> int list
+
+(** [full_ports_of_walk g vs] is the complete port sequence
+    [(p1, q1, ..., pk, qk)] along the walk, flattened. *)
+val full_ports_of_walk : Port_graph.t -> vertex list -> int list
+
+(** [walk_of_ports g v ps] follows outgoing ports [ps] from [v]; returns
+    the visited vertices (including [v]); [None] if some port is out of
+    range at the node reached. *)
+val walk_of_ports : Port_graph.t -> vertex -> int list -> vertex list option
+
+(** [is_simple vs] holds iff the walk repeats no vertex. *)
+val is_simple : vertex list -> bool
+
+(** [connected_avoiding g ~avoid v u]: is there a [v]-[u] path in
+    [g - avoid]?  Requires [v <> avoid] and [u <> avoid]. *)
+val connected_avoiding : Port_graph.t -> avoid:vertex -> vertex -> vertex -> bool
+
+(** [simple_path_ports g v u] finds some simple path from [v] to [u] and
+    returns its outgoing-port sequence ([Some []] when [v = u]). *)
+val simple_path_ports : Port_graph.t -> vertex -> vertex -> int list option

@@ -1,0 +1,1 @@
+lib/labeled/chang_roberts.ml: List Model Shades_election

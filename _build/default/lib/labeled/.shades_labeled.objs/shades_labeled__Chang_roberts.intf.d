@@ -1,0 +1,1 @@
+lib/labeled/chang_roberts.mli: Model Shades_election

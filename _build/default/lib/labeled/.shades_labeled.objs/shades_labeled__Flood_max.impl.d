@@ -1,0 +1,1 @@
+lib/labeled/flood_max.ml: List Model Shades_election

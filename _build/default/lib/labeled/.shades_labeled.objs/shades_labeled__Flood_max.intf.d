@@ -1,0 +1,1 @@
+lib/labeled/flood_max.mli: Model Shades_election

@@ -1,0 +1,1 @@
+lib/labeled/hirschberg_sinclair.ml: Array List Model Shades_election

@@ -1,0 +1,1 @@
+lib/labeled/hirschberg_sinclair.mli: Model Shades_election

@@ -1,0 +1,1 @@
+lib/labeled/model.ml: Array Hashtbl Int List Option Shades_graph

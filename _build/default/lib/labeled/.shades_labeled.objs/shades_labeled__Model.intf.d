@@ -1,0 +1,1 @@
+lib/labeled/model.mli: Shades_graph

@@ -1,0 +1,1 @@
+lib/labeled/peterson.ml: List Model Shades_election

@@ -1,0 +1,1 @@
+lib/labeled/peterson.mli: Model Shades_election

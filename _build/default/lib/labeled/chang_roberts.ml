@@ -1,0 +1,49 @@
+module Task = Shades_election.Task
+
+type msg = Tok of int | Won of int
+
+type state = {
+  label : int;
+  pending : msg option; (* clockwise outbox (port 0) *)
+  answer : int Task.answer option;
+}
+
+let algorithm =
+  {
+    Model.init =
+      (fun ~label ~degree ->
+        if degree <> 2 then invalid_arg "Chang_roberts: ring only";
+        { label; pending = Some (Tok label); answer = None });
+    send = (fun st ~port -> if port = 0 then st.pending else None);
+    step =
+      (fun st inbox ->
+        (* the outbox was sent this round (if any); arrivals come from
+           the predecessor on port 1 *)
+        let st = { st with pending = None } in
+        List.fold_left
+          (fun st (port, m) ->
+            if port <> 1 then st
+            else begin
+              match m with
+              | Tok l ->
+                  if l > st.label then { st with pending = Some (Tok l) }
+                  else if l = st.label then
+                    (* my token survived the whole circle *)
+                    {
+                      st with
+                      answer = Some Task.Leader;
+                      pending = Some (Won st.label);
+                    }
+                  else st (* swallow *)
+              | Won l ->
+                  if st.answer = Some Task.Leader then st (* full circle *)
+                  else
+                    {
+                      st with
+                      answer = Some (Task.Follower l);
+                      pending = Some (Won l);
+                    }
+            end)
+          st inbox);
+    output = (fun st -> st.answer);
+  }

@@ -1,0 +1,17 @@
+(** Chang–Roberts unidirectional ring election.
+
+    Every node launches its label clockwise; a token is swallowed by any
+    node with a larger label, so only the maximum returns to its owner,
+    which becomes the leader and circulates the announcement.  Θ(n²)
+    messages in the worst case — the baseline that the O(n log n)
+    algorithms of [28]/[40] improve on (paper, Related Work).
+
+    Runs on {!Shades_graph.Gen.oriented_ring}-style rings (port 0 =
+    successor, port 1 = predecessor).  Strong election: the leader
+    outputs [Leader]; everyone else outputs [Follower l] with the
+    leader's label [l]. *)
+
+type state
+type msg
+
+val algorithm : (state, msg, int Shades_election.Task.answer) Model.algorithm

@@ -1,0 +1,34 @@
+module Task = Shades_election.Task
+
+type msg = int
+
+type state = {
+  label : int;
+  best : int;
+  fresh : bool; (* did [best] improve last round? then broadcast *)
+  rounds_left : int;
+}
+
+let algorithm ~n =
+  {
+    Model.init =
+      (fun ~label ~degree:_ ->
+        { label; best = label; fresh = true; rounds_left = n });
+    send = (fun st ~port:_ -> if st.fresh then Some st.best else None);
+    step =
+      (fun st inbox ->
+        let incoming =
+          List.fold_left (fun acc (_, l) -> max acc l) st.best inbox
+        in
+        {
+          st with
+          best = incoming;
+          fresh = incoming > st.best;
+          rounds_left = st.rounds_left - 1;
+        });
+    output =
+      (fun st ->
+        if st.rounds_left > 0 then None
+        else if st.best = st.label then Some Task.Leader
+        else Some (Task.Follower st.best));
+  }

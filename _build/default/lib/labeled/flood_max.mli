@@ -1,0 +1,19 @@
+(** Flooding maximum-label election on arbitrary labeled networks.
+
+    Every node repeatedly broadcasts the largest label it has heard;
+    after n rounds (n given — standard knowledge for this algorithm) the
+    maximum has flooded everywhere and its owner becomes the leader.
+    This realizes Section 1's remark that in labeled networks the strong
+    version costs little more than the weak one: the announcement {e is}
+    the elected label.
+
+    Messages: O(m) per improvement wave, O(m·diameter) total —
+    linear-ish in practice, against the anonymous world where strong
+    election needs structural advice. *)
+
+type state
+type msg
+
+(** [algorithm ~n] for an [n]-node network. *)
+val algorithm :
+  n:int -> (state, msg, int Shades_election.Task.answer) Model.algorithm

@@ -1,0 +1,114 @@
+module Task = Shades_election.Task
+
+type msg =
+  | Probe of { label : int; phase : int; ttl : int }
+  | Reply of { label : int; phase : int }
+  | Won of int
+
+type candidate = { phase : int; got_cw : bool; got_ccw : bool }
+
+type mode = Candidate of candidate | Lost | Leader
+
+type state = {
+  label : int;
+  mode : mode;
+  outq : msg list array; (* per-port FIFO outboxes *)
+  answer : int Task.answer option;
+}
+
+(* A message that arrived on port [p] continues in the same direction by
+   leaving on the other port, and reverses by leaving on [p] itself. *)
+let forward st ~port m =
+  st.outq.(1 - port) <- st.outq.(1 - port) @ [ m ];
+  st
+
+let reverse st ~port m =
+  st.outq.(port) <- st.outq.(port) @ [ m ];
+  st
+
+let launch_probes st ~phase =
+  let probe = Probe { label = st.label; phase; ttl = 1 lsl phase } in
+  st.outq.(0) <- st.outq.(0) @ [ probe ];
+  st.outq.(1) <- st.outq.(1) @ [ probe ];
+  st
+
+let algorithm =
+  {
+    Model.init =
+      (fun ~label ~degree ->
+        if degree <> 2 then invalid_arg "Hirschberg_sinclair: ring only";
+        launch_probes
+          {
+            label;
+            mode = Candidate { phase = 0; got_cw = false; got_ccw = false };
+            outq = [| []; [] |];
+            answer = None;
+          }
+          ~phase:0);
+    send =
+      (fun st ~port ->
+        match st.outq.(port) with m :: _ -> Some m | [] -> None);
+    step =
+      (fun st inbox ->
+        (* pop the heads that were just sent (outq is mutable state
+           shared across rounds: copy first) *)
+        let st =
+          {
+            st with
+            outq =
+              Array.map
+                (function [] -> [] | _ :: t -> t)
+                st.outq;
+          }
+        in
+        List.fold_left
+          (fun st (port, m) ->
+            match m with
+            | Won l ->
+                if st.answer = Some Task.Leader then st
+                else
+                  forward
+                    { st with answer = Some (Task.Follower l) }
+                    ~port (Won l)
+            | Probe { label = l; phase; ttl } ->
+                if l = st.label then begin
+                  (* my probe went the whole way around *)
+                  forward
+                    { st with mode = Leader; answer = Some Task.Leader }
+                    ~port (Won st.label)
+                end
+                else if l > st.label then begin
+                  let st = { st with mode = Lost } in
+                  if ttl > 1 then
+                    forward st ~port (Probe { label = l; phase; ttl = ttl - 1 })
+                  else reverse st ~port (Reply { label = l; phase })
+                end
+                else st (* swallow *)
+            | Reply { label = l; phase } -> (
+                if l <> st.label then forward st ~port (Reply { label = l; phase })
+                else
+                  match st.mode with
+                  | Candidate c ->
+                      (* the reply to my clockwise probe returns on port 0 *)
+                      let c =
+                        if port = 0 then { c with got_cw = true }
+                        else { c with got_ccw = true }
+                      in
+                      if c.got_cw && c.got_ccw && phase = c.phase then
+                        launch_probes
+                          {
+                            st with
+                            mode =
+                              Candidate
+                                {
+                                  phase = c.phase + 1;
+                                  got_cw = false;
+                                  got_ccw = false;
+                                };
+                          }
+                          ~phase:(c.phase + 1)
+                      else { st with mode = Candidate c }
+                  | Lost | Leader -> st))
+          st inbox);
+    output = (fun st -> st.answer);
+  }

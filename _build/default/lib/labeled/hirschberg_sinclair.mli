@@ -1,0 +1,18 @@
+(** Hirschberg–Sinclair bidirectional ring election — O(n log n)
+    messages.
+
+    In phase k, every still-candidate node probes 2^k hops in both
+    directions; probes are swallowed by larger labels and otherwise
+    reflected back as replies, and a candidate enters phase k+1 only
+    after both replies return.  A probe completing the full circle
+    identifies the leader (the maximum label), which then circulates the
+    announcement.  This is the classical O(n log n) comparison-based
+    algorithm of [28] whose optimality [19] proves (paper, Related
+    Work).
+
+    Ring convention as in {!Chang_roberts} (port 0 = successor). *)
+
+type state
+type msg
+
+val algorithm : (state, msg, int Shades_election.Task.answer) Model.algorithm

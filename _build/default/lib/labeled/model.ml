@@ -1,0 +1,64 @@
+module Port_graph = Shades_graph.Port_graph
+
+type ('state, 'msg, 'output) algorithm = {
+  init : label:int -> degree:int -> 'state;
+  send : 'state -> port:int -> 'msg option;
+  step : 'state -> (int * 'msg) list -> 'state;
+  output : 'state -> 'output option;
+}
+
+type 'output result = { outputs : 'output array; rounds : int; messages : int }
+
+exception Did_not_terminate of int
+
+let run ?max_rounds g ~labels alg =
+  let n = Port_graph.order g in
+  if Array.length labels <> n then invalid_arg "Labeled.run: wrong label count";
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun l ->
+      if Hashtbl.mem seen l then invalid_arg "Labeled.run: duplicate labels";
+      Hashtbl.add seen l ())
+    labels;
+  let max_rounds =
+    match max_rounds with
+    | Some m -> m
+    | None ->
+        let rec log2 x = if x <= 1 then 0 else 1 + log2 (x / 2) in
+        (4 * n * (log2 n + 2)) + 16
+  in
+  let states =
+    Array.init n (fun v ->
+        alg.init ~label:labels.(v) ~degree:(Port_graph.degree g v))
+  in
+  let outputs = Array.map alg.output states in
+  let all_decided () = Array.for_all Option.is_some outputs in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  while (not (all_decided ())) && !rounds < max_rounds do
+    incr rounds;
+    let inboxes = Array.make n [] in
+    for v = 0 to n - 1 do
+      for p = 0 to Port_graph.degree g v - 1 do
+        match alg.send states.(v) ~port:p with
+        | None -> ()
+        | Some m ->
+            incr messages;
+            let u, q = Port_graph.neighbor g v p in
+            inboxes.(u) <- (q, m) :: inboxes.(u)
+      done
+    done;
+    for v = 0 to n - 1 do
+      let inbox =
+        List.sort (fun (p, _) (q, _) -> Int.compare p q) inboxes.(v)
+      in
+      states.(v) <- alg.step states.(v) inbox;
+      outputs.(v) <- alg.output states.(v)
+    done
+  done;
+  if not (all_decided ()) then raise (Did_not_terminate !rounds);
+  {
+    outputs = Array.map Option.get outputs;
+    rounds = !rounds;
+    messages = !messages;
+  }

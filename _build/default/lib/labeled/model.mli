@@ -1,0 +1,32 @@
+(** Synchronous execution for {e labeled} networks.
+
+    The paper's Section 1 contrasts anonymous election with the labeled
+    case, where "once a node knows that it is a leader, it can simply
+    broadcast its identifier", and its Related Work surveys the classic
+    ring algorithms with their O(n log n) message bounds.  This engine
+    is the anonymous {!Shades_localsim.Engine} with one change: [init]
+    receives the node's distinct label.  Message complexity — the
+    measure of those classic results — is reported per run. *)
+
+type ('state, 'msg, 'output) algorithm = {
+  init : label:int -> degree:int -> 'state;
+  send : 'state -> port:int -> 'msg option;
+  step : 'state -> (int * 'msg) list -> 'state;
+  output : 'state -> 'output option;
+}
+
+type 'output result = { outputs : 'output array; rounds : int; messages : int }
+
+exception Did_not_terminate of int
+
+(** [run g ~labels alg] executes [alg]; [labels.(v)] must be distinct.
+    [max_rounds] defaults to [4·n·(⌈log2 n⌉ + 2) + 16] — phase-based
+    ring algorithms relayed around the whole cycle need up to
+    Θ(n log n) rounds.
+    @raise Invalid_argument on duplicate labels. *)
+val run :
+  ?max_rounds:int ->
+  Shades_graph.Port_graph.t ->
+  labels:int array ->
+  ('state, 'msg, 'output) algorithm ->
+  'output result

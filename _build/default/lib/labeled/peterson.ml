@@ -1,0 +1,72 @@
+module Task = Shades_election.Task
+
+type msg = One of int | Two of int | Won of int
+
+type mode =
+  | Active of { tid : int; first : int option }
+  | Relay
+
+type state = {
+  label : int;
+  mode : mode;
+  queue : msg list; (* FIFO clockwise outbox (port 0) *)
+  answer : int Task.answer option;
+}
+
+let enqueue st m = { st with queue = st.queue @ [ m ] }
+
+let algorithm =
+  {
+    Model.init =
+      (fun ~label ~degree ->
+        if degree <> 2 then invalid_arg "Peterson: ring only";
+        {
+          label;
+          mode = Active { tid = label; first = None };
+          queue = [ One label ];
+          answer = None;
+        });
+    send =
+      (fun st ~port ->
+        if port = 0 then
+          match st.queue with m :: _ -> Some m | [] -> None
+        else None);
+    step =
+      (fun st inbox ->
+        let st =
+          { st with queue = (match st.queue with [] -> [] | _ :: t -> t) }
+        in
+        List.fold_left
+          (fun st (port, m) ->
+            if port <> 1 then st
+            else begin
+              match (st.mode, m) with
+              | _, Won l ->
+                  if st.answer = Some Task.Leader then st (* full circle *)
+                  else
+                    enqueue
+                      { st with answer = Some (Task.Follower l) }
+                      (Won l)
+              | Active a, One t ->
+                  if t = a.tid then
+                    (* my id survived the whole circle: leader; announce
+                       my original label *)
+                    enqueue { st with answer = Some Task.Leader }
+                      (Won st.label)
+                  else
+                    enqueue
+                      { st with mode = Active { a with first = Some t } }
+                      (Two t)
+              | Active { tid; first = Some t1 }, Two t2 ->
+                  if t1 > tid && t1 > t2 then
+                    enqueue
+                      { st with mode = Active { tid = t1; first = None } }
+                      (One t1)
+                  else { st with mode = Relay }
+              | Active { first = None; _ }, Two _ ->
+                  invalid_arg "Peterson: Two before One"
+              | Relay, m -> enqueue st m
+            end)
+          st inbox);
+    output = (fun st -> st.answer);
+  }

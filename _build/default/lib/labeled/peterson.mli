@@ -1,0 +1,16 @@
+(** Peterson's unidirectional ring election — O(n log n) messages.
+
+    Active nodes compare temporary ids with their two nearest active
+    upstream neighbours and survive a phase only when the nearer
+    upstream id beats both; at least half of the active nodes become
+    relays each phase, giving ⌈log n⌉ phases of ≤ 2n messages.  The
+    survivor detects its own id completing a full circle, then
+    announces its {e original} label.
+
+    Paper context: [40]'s O(n log n) unidirectional algorithm cited in
+    Related Work.  Ring convention as in {!Chang_roberts}. *)
+
+type state
+type msg
+
+val algorithm : (state, msg, int Shades_election.Task.answer) Model.algorithm

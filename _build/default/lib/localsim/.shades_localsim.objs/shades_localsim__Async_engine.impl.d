@@ -1,0 +1,1 @@
+lib/localsim/async_engine.ml: Array Engine Hashtbl Int List Map Option Random Shades_graph

@@ -1,0 +1,1 @@
+lib/localsim/async_engine.mli: Engine Shades_bits Shades_graph

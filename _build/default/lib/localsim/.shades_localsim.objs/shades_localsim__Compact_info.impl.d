@@ -1,0 +1,1 @@
+lib/localsim/compact_info.ml: Array Engine List Shades_views

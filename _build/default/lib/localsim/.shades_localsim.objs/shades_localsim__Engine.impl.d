@@ -1,0 +1,1 @@
+lib/localsim/engine.ml: Array Int List Option Shades_bits Shades_graph

@@ -1,0 +1,1 @@
+lib/localsim/engine.mli: Shades_bits Shades_graph

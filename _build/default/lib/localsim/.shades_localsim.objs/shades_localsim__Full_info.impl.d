@@ -1,0 +1,1 @@
+lib/localsim/full_info.ml: Array Async_engine Engine List Shades_views

@@ -1,0 +1,1 @@
+lib/localsim/full_info.mli: Shades_bits Shades_graph Shades_views

@@ -1,0 +1,104 @@
+module Port_graph = Shades_graph.Port_graph
+
+(* A wire message: the sender's round plus the payload the algorithm
+   chose to send.  A [None] payload still travels — it is the
+   end-of-round marker the synchronizer needs on every port.  The
+   payload carries the receiver's port so delivery needs no lookup. *)
+type 'msg wire = { round : int; payload : (int * 'msg) option }
+
+let run ?max_rounds ?(seed = 0) g ~advice alg =
+  let n = Port_graph.order g in
+  let max_rounds =
+    match max_rounds with Some m -> m | None -> (4 * n) + 16
+  in
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  (* Delivery queue ordered by (time, sequence); the sequence number
+     makes simultaneous deliveries deterministic. *)
+  let module M = Map.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let queue = ref M.empty in
+  let seq = ref 0 in
+  let clock = ref 0.0 in
+  let push_event dest wire_msg =
+    let delay = 0.01 +. Random.State.float rng 1.0 in
+    incr seq;
+    queue := M.add (!clock +. delay, !seq) (dest, wire_msg) !queue
+  in
+  let messages = ref 0 in
+  let states =
+    Array.init n (fun v ->
+        alg.Engine.init ~degree:(Port_graph.degree g v) ~advice)
+  in
+  let outputs = Array.map alg.Engine.output states in
+  let rounds = Array.make n 0 in
+  let decided_round =
+    Array.map (fun o -> if Option.is_some o then Some 0 else None) outputs
+  in
+  (* inboxes.(v) buffers received wires per pending round. *)
+  let inboxes : (int, 'a wire list) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 4)
+  in
+  let send_round v =
+    for p = 0 to Port_graph.degree g v - 1 do
+      let u, q = Port_graph.neighbor g v p in
+      let payload =
+        match alg.Engine.send states.(v) ~port:p with
+        | Some m ->
+            incr messages;
+            Some (q, m)
+        | None -> None
+      in
+      push_event u { round = rounds.(v) + 1; payload }
+    done
+  in
+  let all_decided () = Array.for_all Option.is_some outputs in
+  if not (all_decided ()) then
+    for v = 0 to n - 1 do
+      send_round v
+    done;
+  let stop = ref (all_decided ()) in
+  while (not !stop) && not (M.is_empty !queue) do
+    let ((t, _) as key), (v, wire) = M.min_binding !queue in
+    queue := M.remove key !queue;
+    clock := t;
+    Hashtbl.replace inboxes.(v) wire.round
+      (wire
+      :: Option.value ~default:[] (Hashtbl.find_opt inboxes.(v) wire.round));
+    (* Advance v while its next round is fully delivered. *)
+    let progressing = ref true in
+    while !progressing do
+      let next = rounds.(v) + 1 in
+      match Hashtbl.find_opt inboxes.(v) next with
+      | Some wires when List.length wires = Port_graph.degree g v ->
+          Hashtbl.remove inboxes.(v) next;
+          let inbox =
+            List.filter_map (fun w -> w.payload) wires
+            |> List.sort (fun (p, _) (q, _) -> Int.compare p q)
+          in
+          states.(v) <- alg.Engine.step states.(v) inbox;
+          rounds.(v) <- next;
+          outputs.(v) <- alg.Engine.output states.(v);
+          if Option.is_some outputs.(v) && decided_round.(v) = None then
+            decided_round.(v) <- Some next;
+          if next > max_rounds || all_decided () then begin
+            progressing := false;
+            stop := true
+          end
+          else send_round v
+      | _ -> progressing := false
+    done
+  done;
+  if not (all_decided ()) then
+    raise (Engine.Did_not_terminate (Array.fold_left max 0 rounds));
+  {
+    Engine.outputs = Array.map Option.get outputs;
+    (* The synchronous round count is the latest first-decision round. *)
+    rounds =
+      Array.fold_left
+        (fun acc d -> max acc (Option.value ~default:0 d))
+        0 decided_round;
+    messages = !messages;
+  }

@@ -1,0 +1,28 @@
+(** Asynchronous execution of LOCAL algorithms via time-stamps.
+
+    The paper notes that "the synchronous process of the LOCAL model can
+    be simulated in an asynchronous network using time-stamps"
+    (Section 1).  This module realizes that remark: messages suffer
+    arbitrary (adversarially random, seeded) delays, every node tags its
+    traffic with its round number and additionally emits an explicit
+    end-of-round marker on every port, and a node advances to round
+    [r+1] only after collecting the round-[r] traffic of all its
+    neighbours — the classical α-synchronizer.
+
+    Running any {!Engine.algorithm} through this executor produces
+    exactly the outputs of the synchronous {!Engine.run}; a property
+    test enforces this for every delay schedule tried. *)
+
+(** [run ?max_rounds ?seed g ~advice alg] executes [alg] asynchronously;
+    message delays are drawn from a PRNG seeded with [seed] (default 0),
+    so runs are reproducible.  The reported [rounds] is the number of
+    synchronizer rounds executed — identical to the synchronous round
+    count.
+    @raise Engine.Did_not_terminate like {!Engine.run}. *)
+val run :
+  ?max_rounds:int ->
+  ?seed:int ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  ('state, 'msg, 'output) Engine.algorithm ->
+  'output Engine.result

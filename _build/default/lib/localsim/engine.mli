@@ -1,0 +1,45 @@
+(** Synchronous message-passing engine for the LOCAL model.
+
+    All nodes start simultaneously and proceed in synchronous rounds.  In
+    each round every node may send one (arbitrary) message per port; all
+    messages are delivered before the next round.  Nodes are anonymous:
+    an algorithm sees only its degree, the common advice string, its
+    ports, and the arrival ports of incoming messages — never a vertex
+    index. *)
+
+type ('state, 'msg, 'output) algorithm = {
+  init : degree:int -> advice:Shades_bits.Bitstring.t -> 'state;
+      (** Initial state; a node initially knows only its own degree and
+          the advice (the same string at every node). *)
+  send : 'state -> port:int -> 'msg option;
+      (** Message to emit on [port] this round, if any. *)
+  step : 'state -> (int * 'msg) list -> 'state;
+      (** Advance one round. The inbox lists [(p, m)] for each message
+          [m] that arrived on the node's own port [p], in increasing
+          port order. *)
+  output : 'state -> 'output option;
+      (** [Some o] once the node has decided; polled after [init]
+          (round 0) and after every [step]. *)
+}
+
+type 'output result = {
+  outputs : 'output array;  (** indexed by vertex (oracle-side view) *)
+  rounds : int;  (** rounds executed until every node had decided *)
+  messages : int;
+      (** total messages sent (one per port per round where [send]
+          returned [Some]) — the classical message-complexity measure *)
+}
+
+exception Did_not_terminate of int
+(** Raised by {!run} when some node is still undecided after the round
+    bound. *)
+
+(** [run g ~advice alg] executes [alg] at every node of [g] with the
+    same [advice].  Terminates at the first round where all nodes have
+    an output.  [max_rounds] defaults to [4 * order g + 16]. *)
+val run :
+  ?max_rounds:int ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  ('state, 'msg, 'output) algorithm ->
+  'output result

@@ -1,0 +1,45 @@
+(** The full-information protocol on top of {!Engine}.
+
+    In the LOCAL model with unbounded messages, the optimal strategy is
+    for every node to forward everything it knows each round; after [r]
+    rounds a node's knowledge is exactly its augmented truncated view
+    [B^r] (paper, Section 1).  This module implements that protocol
+    honestly — nodes exchange view trees over the simulated network —
+    so every minimum-time algorithm can be phrased as
+    "gather [B^r], then decide". *)
+
+(** [run g ~rounds ~advice ~decide] executes the view-exchange protocol
+    for exactly [rounds] rounds at every node and applies
+    [decide ~advice view] to each node's [B^rounds].  Returns the
+    decisions (vertex-indexed) — the engine guarantees [rounds] rounds
+    were used (0 allowed). *)
+val run :
+  Shades_graph.Port_graph.t ->
+  rounds:int ->
+  advice:Shades_bits.Bitstring.t ->
+  decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
+  'o array
+
+(** Like {!run} but the number of rounds is computed per-node from the
+    advice and the node's degree before communication starts (all paper
+    algorithms derive a common round count from the advice, so the
+    values coincide across nodes; this is asserted). Returns decisions
+    and the common round count. *)
+val run_adaptive :
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
+  decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
+  'o array * int
+
+(** Like {!run_adaptive} but executed through {!Async_engine}: messages
+    suffer (seeded) adversarial delays and the α-synchronizer recovers
+    round structure from time-stamps.  Outputs and the reported round
+    count coincide with the synchronous run. *)
+val run_adaptive_async :
+  ?seed:int ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
+  decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
+  'o array * int

@@ -1,0 +1,1 @@
+lib/views/cview.ml: Array Hashtbl Shades_graph View_tree

@@ -1,0 +1,1 @@
+lib/views/cview.mli: Shades_graph View_tree

@@ -1,0 +1,1 @@
+lib/views/quotient.ml: Array Format List Refinement Shades_graph

@@ -1,0 +1,1 @@
+lib/views/quotient.mli: Format Shades_graph

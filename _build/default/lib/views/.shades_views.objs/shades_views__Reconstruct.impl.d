@@ -1,0 +1,1 @@
+lib/views/reconstruct.ml: Array Cview Hashtbl List Printf Shades_graph

@@ -1,0 +1,1 @@
+lib/views/reconstruct.mli: Cview Shades_graph View_tree

@@ -1,0 +1,1 @@
+lib/views/refinement.ml: Array Hashtbl List Shades_graph

@@ -1,0 +1,1 @@
+lib/views/refinement.mli: Shades_graph

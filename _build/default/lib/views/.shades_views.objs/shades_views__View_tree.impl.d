@@ -1,0 +1,1 @@
+lib/views/view_tree.ml: Array Buffer Char Format Int Option Shades_bits Shades_graph

@@ -1,0 +1,1 @@
+lib/views/view_tree.mli: Format Shades_bits Shades_graph

@@ -1,0 +1,56 @@
+module Port_graph = Shades_graph.Port_graph
+
+type t = {
+  classes : int;
+  fiber_size : int;
+  degree : int array;
+  port_map : (int * int) array array;
+  class_of : int array;
+}
+
+let of_graph g =
+  let n = Port_graph.order g in
+  let r = Refinement.fixpoint g in
+  let depth = Refinement.depth r in
+  let classes = Refinement.class_count r ~depth in
+  let class_of = Array.init n (fun v -> Refinement.class_of r ~depth v) in
+  let degree = Array.make classes 0 in
+  let port_map = Array.make classes [||] in
+  let groups = Refinement.classes r ~depth in
+  Array.iteri
+    (fun c members ->
+      let v = List.hd members in
+      let d = Port_graph.degree g v in
+      degree.(c) <- d;
+      port_map.(c) <-
+        Array.init d (fun p ->
+            let u, q = Port_graph.neighbor g v p in
+            (class_of.(u), q));
+      (* Well-definedness: every member induces the same port map — this
+         is the fixpoint property, asserted here as a sanity check. *)
+      List.iter
+        (fun w ->
+          for p = 0 to d - 1 do
+            let u, q = Port_graph.neighbor g w p in
+            assert (port_map.(c).(p) = (class_of.(u), q))
+          done)
+        members)
+    groups;
+  let fiber_size = n / classes in
+  assert (
+    Array.for_all (fun members -> List.length members = fiber_size) groups);
+  { classes; fiber_size; degree; port_map; class_of }
+
+let is_trivial t = t.fiber_size = 1
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>quotient: %d classes, fiber %d" t.classes
+    t.fiber_size;
+  Array.iteri
+    (fun c ports ->
+      Format.fprintf fmt "@,  class %d (deg %d):" c t.degree.(c);
+      Array.iteri
+        (fun p (c', q) -> Format.fprintf fmt " %d->%d:%d" p c' q)
+        ports)
+    t.port_map;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** The quotient of an anonymous network (Yamashita–Kameda).
+
+    View-equivalent nodes behave identically under every deterministic
+    algorithm, so the network acts like its {e quotient}: one vertex per
+    fixpoint view class, with each class's common port map.  The
+    original graph is a covering of the quotient (all classes have equal
+    size — the fibers), which is exactly why leader election fails on
+    infeasible graphs: whatever one member of a class outputs, all its
+    siblings output too.
+
+    The quotient of a feasible graph is the graph itself; the quotient
+    of an oriented ring is a single vertex with a loop — represented
+    here as a port map, since quotients are generally multigraphs with
+    loops and fall outside {!Shades_graph.Port_graph}'s simple-graph
+    invariants. *)
+
+type t = {
+  classes : int;  (** number of view classes at the fixpoint *)
+  fiber_size : int;  (** common size of every class *)
+  degree : int array;  (** degree of each class, indexed by class id *)
+  port_map : (int * int) array array;
+      (** [port_map.(c).(p) = (c', q)]: following port [p] from any
+          member of class [c] reaches a member of [c'], arriving on its
+          port [q] *)
+  class_of : int array;  (** original vertex -> class id *)
+}
+
+(** [of_graph g] computes the quotient at the refinement fixpoint. *)
+val of_graph : Shades_graph.Port_graph.t -> t
+
+(** A trivial quotient (every class a singleton) means the graph is
+    feasible. *)
+val is_trivial : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+module Port_graph = Shades_graph.Port_graph
+
+let rounds_needed ~n = 2 * (n - 1)
+
+(* Vertices are identified with the ids of their depth-(n−1) truncated
+   views; every vertex occurs within depth n−1 of the root, and every
+   edge has an endpoint at depth <= n−2 (two vertices at distance
+   exactly n−1 from the root would leave some intermediate BFS level
+   empty), so a level-by-level sweep down to depth n−2 sees every edge
+   with full signatures on both sides. *)
+let graph_of_cview ctx view ~n =
+  if n < 1 then invalid_arg "Reconstruct: n < 1";
+  if n = 1 then (Port_graph.of_edges 1 [], 0)
+  else begin
+    let d = n - 1 in
+    if view.Cview.height < rounds_needed ~n then
+      invalid_arg "Reconstruct: view too shallow for claimed n";
+    let sig_of node = (Cview.truncate ctx node ~depth:d).Cview.id in
+    let dense = Hashtbl.create 32 in
+    let fresh = ref 0 in
+    let vertex_of node =
+      let s = sig_of node in
+      match Hashtbl.find_opt dense s with
+      | Some v -> v
+      | None ->
+          let v = !fresh in
+          incr fresh;
+          Hashtbl.add dense s v;
+          v
+    in
+    let port_map = Hashtbl.create 64 in
+    let filled = ref 0 in
+    let expected = ref 0 in
+    let record (v, p) (u, q) =
+      match Hashtbl.find_opt port_map (v, p) with
+      | Some (u', q') ->
+          if u' <> u || q' <> q then
+            invalid_arg
+              "Reconstruct: inconsistent edges (wrong n or infeasible graph)"
+      | None ->
+          Hashtbl.add port_map (v, p) (u, q);
+          incr filled
+    in
+    let vertex_of node =
+      let before = !fresh in
+      let v = vertex_of node in
+      if !fresh > before then expected := !expected + node.Cview.degree;
+      v
+    in
+    let root_vertex = vertex_of view in
+    (* Level-by-level sweep, deduplicating shared DAG nodes per level.
+       Depths 0..d−1 always suffice: two adjacent vertices both at
+       distance exactly d = n−1 from the root would leave an
+       intermediate BFS level empty; a node at depth d−1 has subtree
+       height d+1, so its children's depth-d signatures are still
+       available.  In practice everything is complete after roughly the
+       diameter, so stop as soon as all n vertices and all their ports
+       (counted in both directions) have been seen. *)
+    let level = ref [ view ] in
+    let depth = ref 0 in
+    let complete () = !fresh = n && !filled = !expected in
+    while !depth <= d - 1 && not (complete ()) do
+      let next = Hashtbl.create 32 in
+      List.iter
+        (fun (node : Cview.t) ->
+          let v = vertex_of node in
+          Array.iteri
+            (fun p (q, child) ->
+              let u = vertex_of child in
+              record (v, p) (u, q);
+              record (u, q) (v, p);
+              if not (Hashtbl.mem next child.Cview.id) then
+                Hashtbl.add next child.Cview.id child)
+            node.Cview.children)
+        !level;
+      level := Hashtbl.fold (fun _ node acc -> node :: acc) next [];
+      incr depth
+    done;
+    if !fresh <> n then
+      invalid_arg
+        (Printf.sprintf
+           "Reconstruct: found %d distinct vertices, expected %d" !fresh n);
+    let edges =
+      Hashtbl.fold
+        (fun (v, p) (u, q) acc ->
+          if (v, p) < (u, q) then ((v, p), (u, q)) :: acc else acc)
+        port_map []
+    in
+    (Port_graph.of_edges n edges, root_vertex)
+  end
+
+let graph_of_view tree ~n =
+  let ctx = Cview.create_ctx () in
+  fst (graph_of_cview ctx (Cview.of_tree ctx tree) ~n)

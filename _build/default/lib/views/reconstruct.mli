@@ -1,0 +1,36 @@
+(** Reconstructing the network from one node's view.
+
+    A feasible graph (all views distinct) is fully determined, up to
+    isomorphism, by any single sufficiently deep view: vertices can be
+    identified with their depth-(n−1) view signatures, and the signature
+    of every neighbour is visible one level deeper.  Concretely,
+    [B^{2(n-1)}(v)] suffices: every vertex occurs within depth n−1 of
+    the root, and each such occurrence still carries a full depth-(n−1)
+    subtree.
+
+    This powers the time-vs-advice tradeoff experiments: with ~2n rounds
+    and only [gamma n] bits of advice (the size of the network), every
+    node can rebuild the whole map and solve any of the four shades —
+    the exponential minimum-time advice of Sections 3-4 collapses when
+    the time budget is relaxed (the paper's closing open question). *)
+
+(** [graph_of_cview ctx view ~n] rebuilds the port-labeled graph from a
+    hash-consed view of depth at least [2*(n-1)], where [n] is the
+    number of vertices of the underlying graph.  Returns the graph and
+    the vertex corresponding to the view's root (the numbering follows
+    signature discovery order, root = 0; canonicalize with
+    [Port_graph.canonical] when distinct nodes must agree on it).
+    @raise Invalid_argument if the view is too shallow or the signature
+    structure is inconsistent (e.g. [n] is wrong, or the underlying
+    graph is infeasible so distinct vertices collide). *)
+val graph_of_cview :
+  Cview.ctx -> Cview.t -> n:int ->
+  Shades_graph.Port_graph.t * Shades_graph.Port_graph.vertex
+
+(** Explicit-tree convenience wrapper around {!graph_of_cview} (the
+    input tree is exponential in depth; use for small [n]). *)
+val graph_of_view : View_tree.t -> n:int -> Shades_graph.Port_graph.t
+
+(** [rounds_needed ~n] is the view depth the reconstruction requires,
+    [2*(n-1)]. *)
+val rounds_needed : n:int -> int

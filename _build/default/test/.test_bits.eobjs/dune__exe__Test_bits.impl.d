@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bitstring Gen List QCheck QCheck_alcotest Reader Shades_bits Writer

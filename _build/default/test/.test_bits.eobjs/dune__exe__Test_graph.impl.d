@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun Gen Iso List Option Paths Port_graph Printf QCheck QCheck_alcotest Random Shades_graph String

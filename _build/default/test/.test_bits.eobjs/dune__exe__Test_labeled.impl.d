@@ -1,0 +1,1 @@
+test/test_labeled.ml: Alcotest Array Chang_roberts Flood_max Gen Hirschberg_sinclair List Model Peterson QCheck QCheck_alcotest Random Shades_election Shades_graph Shades_labeled Task

@@ -1,0 +1,1 @@
+test/test_localsim.ml: Alcotest Array Async_engine Engine Full_info Gen List Port_graph Printf QCheck QCheck_alcotest Random Shades_bits Shades_graph Shades_localsim Shades_views View_tree

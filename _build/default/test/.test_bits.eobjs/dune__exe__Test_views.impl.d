@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Array Fun Gen Int List Port_graph Printf QCheck QCheck_alcotest Quotient Random Refinement Shades_graph Shades_views View_tree

@@ -1,0 +1,172 @@
+(* Tests for the bit-level advice substrate. *)
+
+open Shades_bits
+
+let bitstring_testable =
+  Alcotest.testable Bitstring.pp Bitstring.equal
+
+let check_bits = Alcotest.check bitstring_testable
+
+let test_empty () =
+  Alcotest.(check int) "empty length" 0 (Bitstring.length Bitstring.empty);
+  check_bits "empty of_string" Bitstring.empty (Bitstring.of_string "")
+
+let test_of_to_string () =
+  let s = "0110100111000101" in
+  Alcotest.(check string) "round trip" s
+    Bitstring.(to_string (of_string s));
+  Alcotest.check Alcotest.bool "bit 1" true
+    (Bitstring.get (Bitstring.of_string s) 1);
+  Alcotest.check Alcotest.bool "bit 0" false
+    (Bitstring.get (Bitstring.of_string s) 0)
+
+let test_append () =
+  check_bits "append"
+    (Bitstring.of_string "01101")
+    (Bitstring.append (Bitstring.of_string "011") (Bitstring.of_string "01"));
+  check_bits "append empty right"
+    (Bitstring.of_string "011")
+    (Bitstring.append (Bitstring.of_string "011") Bitstring.empty);
+  check_bits "concat"
+    (Bitstring.of_string "101001")
+    (Bitstring.concat
+       [ Bitstring.of_string "10"; Bitstring.of_string "100";
+         Bitstring.of_string "1" ])
+
+let test_sub () =
+  let b = Bitstring.of_string "011010011" in
+  check_bits "sub middle" (Bitstring.of_string "1101") (Bitstring.sub b 1 4);
+  check_bits "sub all" b (Bitstring.sub b 0 9);
+  check_bits "sub empty" Bitstring.empty (Bitstring.sub b 4 0);
+  Alcotest.check_raises "sub out of range"
+    (Invalid_argument "Bitstring.sub") (fun () ->
+      ignore (Bitstring.sub b 5 5))
+
+let test_compare () =
+  let b s = Bitstring.of_string s in
+  Alcotest.(check bool) "prefix smaller" true
+    (Bitstring.compare (b "01") (b "011") < 0);
+  Alcotest.(check bool) "lex" true (Bitstring.compare (b "001") (b "010") < 0);
+  Alcotest.(check int) "equal" 0 (Bitstring.compare (b "0101") (b "0101"))
+
+let test_writer_fixed () =
+  let w = Writer.create () in
+  Writer.fixed w ~width:5 11;
+  check_bits "fixed 11/5" (Bitstring.of_string "01011") (Writer.contents w);
+  Alcotest.(check int) "length" 5 (Writer.length w);
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Writer.fixed: value does not fit") (fun () ->
+      Writer.fixed w ~width:3 8)
+
+let test_writer_unary_gamma () =
+  let w = Writer.create () in
+  Writer.unary w 3;
+  check_bits "unary 3" (Bitstring.of_string "1110") (Writer.contents w);
+  let w = Writer.create () in
+  Writer.gamma w 0;
+  check_bits "gamma 0" (Bitstring.of_string "0") (Writer.contents w)
+
+let test_reader_roundtrip () =
+  let w = Writer.create () in
+  Writer.gamma w 41;
+  Writer.fixed w ~width:7 99;
+  Writer.unary w 5;
+  Writer.bit w true;
+  let r = Reader.of_bitstring (Writer.contents w) in
+  Alcotest.(check int) "gamma" 41 (Reader.gamma r);
+  Alcotest.(check int) "fixed" 99 (Reader.fixed r ~width:7);
+  Alcotest.(check int) "unary" 5 (Reader.unary r);
+  Alcotest.(check bool) "bit" true (Reader.bit r);
+  Alcotest.(check bool) "at end" true (Reader.at_end r)
+
+let test_reader_out_of_bits () =
+  let r = Reader.of_bitstring (Bitstring.of_string "1") in
+  Alcotest.check_raises "unary runs out" Reader.Out_of_bits (fun () ->
+      ignore (Reader.unary r))
+
+(* Property tests *)
+
+let gen_bools = QCheck.(small_list bool)
+
+let prop_bools_roundtrip =
+  QCheck.Test.make ~name:"of_bools/to_bools roundtrip" ~count:500 gen_bools
+    (fun l -> Bitstring.to_bools (Bitstring.of_bools l) = l)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string/to_string roundtrip" ~count:500
+    QCheck.(string_gen_of_size Gen.small_nat (Gen.oneofl [ '0'; '1' ]))
+    (fun s -> Bitstring.(to_string (of_string s)) = s)
+
+let prop_append_length =
+  QCheck.Test.make ~name:"append adds lengths" ~count:300
+    QCheck.(pair gen_bools gen_bools) (fun (a, b) ->
+      Bitstring.(
+        length (append (of_bools a) (of_bools b)))
+      = List.length a + List.length b)
+
+let prop_gamma_roundtrip =
+  QCheck.Test.make ~name:"gamma roundtrip" ~count:1000
+    QCheck.(int_bound 1_000_000) (fun v ->
+      let w = Writer.create () in
+      Writer.gamma w v;
+      let r = Reader.of_bitstring (Writer.contents w) in
+      Reader.gamma r = v && Reader.at_end r)
+
+let prop_fixed_roundtrip =
+  QCheck.Test.make ~name:"fixed roundtrip" ~count:1000
+    QCheck.(pair (int_bound 30) (int_bound 1_000_000)) (fun (extra, v) ->
+      (* width large enough for v plus some slack *)
+      let rec bits n = if n = 0 then 0 else 1 + bits (n lsr 1) in
+      let width = max 1 (bits v) + (extra mod 5) in
+      let w = Writer.create () in
+      Writer.fixed w ~width v;
+      let r = Reader.of_bitstring (Writer.contents w) in
+      Reader.fixed r ~width = v)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    QCheck.(pair gen_bools gen_bools) (fun (a, b) ->
+      let x = Bitstring.of_bools a and y = Bitstring.of_bools b in
+      Bitstring.compare x y = -Bitstring.compare y x
+      && (Bitstring.compare x y <> 0 || Bitstring.equal x y))
+
+let prop_sub_append =
+  QCheck.Test.make ~name:"sub recomposes append" ~count:500
+    QCheck.(pair gen_bools gen_bools) (fun (a, b) ->
+      let x = Bitstring.of_bools a and y = Bitstring.of_bools b in
+      let z = Bitstring.append x y in
+      Bitstring.equal (Bitstring.sub z 0 (Bitstring.length x)) x
+      && Bitstring.equal
+           (Bitstring.sub z (Bitstring.length x) (Bitstring.length y))
+           y)
+
+let () =
+  Alcotest.run "shades_bits"
+    [
+      ( "bitstring",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "of/to string" `Quick test_of_to_string;
+          Alcotest.test_case "append/concat" `Quick test_append;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "compare" `Quick test_compare;
+        ] );
+      ( "writer-reader",
+        [
+          Alcotest.test_case "fixed" `Quick test_writer_fixed;
+          Alcotest.test_case "unary/gamma" `Quick test_writer_unary_gamma;
+          Alcotest.test_case "roundtrip" `Quick test_reader_roundtrip;
+          Alcotest.test_case "out of bits" `Quick test_reader_out_of_bits;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bools_roundtrip;
+            prop_string_roundtrip;
+            prop_append_length;
+            prop_gamma_roundtrip;
+            prop_fixed_roundtrip;
+            prop_compare_total_order;
+            prop_sub_append;
+          ] );
+    ]

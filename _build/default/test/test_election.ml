@@ -1,0 +1,468 @@
+(* Tests for tasks, verifiers, election indexes and advice schemes. *)
+
+open Shades_graph
+open Shades_election
+
+let result_t = Alcotest.(result int string)
+
+let three_node_line () = Gen.path_with_ports [ (0, 0); (1, 0) ]
+
+(* --- verifiers --- *)
+
+let test_verify_selection () =
+  let g = three_node_line () in
+  Alcotest.check result_t "ok" (Ok 1)
+    (Verify.selection g
+       Task.[| Follower (); Leader; Follower () |]);
+  Alcotest.check result_t "no leader"
+    (Error "no node output leader")
+    (Verify.selection g Task.[| Follower (); Follower (); Follower () |]);
+  Alcotest.check result_t "two leaders" (Error "2 nodes output leader")
+    (Verify.selection g Task.[| Leader; Leader; Follower () |])
+
+let test_verify_port_election () =
+  let g = three_node_line () in
+  Alcotest.check result_t "ok towards middle" (Ok 1)
+    (Verify.port_election g Task.[| Follower 0; Leader; Follower 0 |]);
+  (* Middle's port 0 leads to v0; with v0 as leader that is fine, but
+     port 1 points away, and removing the middle disconnects the line. *)
+  Alcotest.check result_t "middle towards leader ok" (Ok 0)
+    (Verify.port_election g Task.[| Leader; Follower 0; Follower 0 |]);
+  (match
+     Verify.port_election g Task.[| Leader; Follower 1; Follower 0 |]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "middle pointing away from leader must fail");
+  (* On a ring, both directions reach the leader. *)
+  let ring = Gen.oriented_ring 4 in
+  Alcotest.check result_t "ring any direction" (Ok 0)
+    (Verify.port_election ring
+       Task.[| Leader; Follower 0; Follower 1; Follower 0 |])
+
+let test_verify_ppe () =
+  let g = Gen.path 4 in
+  Alcotest.check result_t "routes to 0" (Ok 0)
+    (Verify.port_path_election g
+       Task.[| Leader; Follower [ 1 ]; Follower [ 1; 1 ]; Follower [ 0; 1; 1 ] |]);
+  (match
+     Verify.port_path_election g
+       Task.[| Leader; Follower [ 1 ]; Follower [ 1; 1 ]; Follower [ 0; 0 ] |]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dangling route must fail");
+  (match
+     Verify.port_path_election g
+       Task.[| Leader; Follower []; Follower [ 1; 1 ]; Follower [ 0; 1; 1 ] |]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty route must fail");
+  (* Non-simple walk: 1 -> 2 -> 1 -> 0 revisits node 1. *)
+  match
+    Verify.port_path_election g
+      Task.[| Leader; Follower [ 0; 1; 1 ]; Follower [ 1; 1 ]; Follower [ 0; 1; 1 ] |]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-simple route must fail"
+
+let test_verify_cppe () =
+  let g = three_node_line () in
+  Alcotest.check result_t "ok" (Ok 1)
+    (Verify.complete_port_path_election g
+       Task.[| Follower [ (0, 0) ]; Leader; Follower [ (0, 1) ] |]);
+  match
+    Verify.complete_port_path_election g
+      Task.[| Follower [ (0, 1) ]; Leader; Follower [ (0, 1) ] |]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong arrival port must fail"
+
+(* --- election indexes on named graphs --- *)
+
+let opt_int = Alcotest.(option int)
+
+let test_index_three_node_line () =
+  (* The paper's example: ψ_S = 0 (unique degree) and ψ_CPPE = 1 (the
+     two leaves must learn their distinct arrival ports). *)
+  let g = three_node_line () in
+  Alcotest.check opt_int "psi_s" (Some 0) (Index.psi_s g);
+  Alcotest.check opt_int "psi_pe" (Some 0) (Index.psi_pe g);
+  Alcotest.check opt_int "psi_ppe" (Some 0) (Index.psi_ppe g);
+  Alcotest.check opt_int "psi_cppe" (Some 1) (Index.psi_cppe g)
+
+let test_index_star () =
+  (* Star: unique-degree center elects at time 0; CPPE needs one round
+     for each leaf to learn which center port it hangs from. *)
+  let g = Gen.star 5 in
+  Alcotest.check opt_int "psi_s" (Some 0) (Index.psi_s g);
+  Alcotest.check opt_int "psi_pe" (Some 0) (Index.psi_pe g);
+  Alcotest.check opt_int "psi_ppe" (Some 0) (Index.psi_ppe g);
+  Alcotest.check opt_int "psi_cppe" (Some 1) (Index.psi_cppe g)
+
+let test_index_ring_infeasible () =
+  let g = Gen.oriented_ring 6 in
+  List.iter
+    (fun (kind, v) ->
+      Alcotest.check opt_int (Task.kind_to_string kind) None v)
+    (Index.all g)
+
+let test_index_single_node () =
+  let g = Port_graph.Builder.finish (Port_graph.Builder.create 1) in
+  List.iter
+    (fun (kind, v) ->
+      Alcotest.check opt_int (Task.kind_to_string kind) (Some 0) v)
+    (Index.all g)
+
+let test_solve_rejects_small_depth () =
+  let g = three_node_line () in
+  Alcotest.(check bool) "cppe not 0-solvable" true
+    (Index.solve_cppe g ~depth:0 = None);
+  Alcotest.(check bool) "cppe 1-solvable" true
+    (Index.solve_cppe g ~depth:1 <> None)
+
+(* --- schemes through the simulator --- *)
+
+let test_select_by_view_line () =
+  let g = three_node_line () in
+  let { Scheme.outputs; rounds; advice_bits } =
+    Scheme.run Select_by_view.scheme g
+  in
+  Alcotest.check result_t "elects" (Ok 1) (Verify.selection g outputs);
+  Alcotest.(check int) "rounds = psi_s" 0 rounds;
+  Alcotest.(check bool) "some advice" true (advice_bits > 0)
+
+let test_map_advice_line () =
+  let g = three_node_line () in
+  let { Scheme.outputs; rounds; _ } =
+    Scheme.run Map_advice.complete_port_path_election g
+  in
+  (* At depth 1 every class is a singleton, so any node may be elected;
+     the deterministic solver picks the lowest-index one. *)
+  Alcotest.(check bool) "elects" true
+    (Result.is_ok (Verify.complete_port_path_election g outputs));
+  Alcotest.(check int) "rounds = psi_cppe" 1 rounds
+
+(* --- properties on random graphs --- *)
+
+let rand_graph =
+  QCheck.make
+    ~print:(fun (seed, n, e) -> Printf.sprintf "seed=%d n=%d extra=%d" seed n e)
+    QCheck.Gen.(triple (int_bound 10_000) (int_range 2 7) (int_bound 6))
+
+let build (seed, n, extra) =
+  Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra
+
+let prop_hierarchy =
+  (* Fact 1.1: ψ_CPPE >= ψ_PPE >= ψ_PE >= ψ_S. *)
+  QCheck.Test.make ~name:"Fact 1.1 index hierarchy" ~count:200 rand_graph
+    (fun params ->
+      let g = build params in
+      match Index.all g with
+      | [ (Task.S, s); (Task.PE, pe); (Task.PPE, ppe); (Task.CPPE, cppe) ]
+        -> (
+          match (s, pe, ppe, cppe) with
+          | Some s, Some pe, Some ppe, Some cppe ->
+              cppe >= ppe && ppe >= pe && pe >= s
+          | None, None, None, None -> true
+          | _ -> false (* feasibility is task-independent *))
+      | _ -> false)
+
+let prop_solutions_verify =
+  QCheck.Test.make ~name:"solve_* answers satisfy the verifiers" ~count:100
+    rand_graph (fun params ->
+      let g = build params in
+      match Index.psi_s g with
+      | None -> QCheck.assume_fail ()
+      | Some _ ->
+          let ok_s =
+            match Index.psi_s g with
+            | Some k ->
+                Result.is_ok
+                  (Verify.selection g
+                     (Option.get (Index.solve_s g ~depth:k)))
+            | None -> false
+          in
+          let ok_pe =
+            match Index.psi_pe g with
+            | Some k ->
+                Result.is_ok
+                  (Verify.port_election g
+                     (Option.get (Index.solve_pe g ~depth:k)))
+            | None -> false
+          in
+          let ok_ppe =
+            match Index.psi_ppe g with
+            | Some k ->
+                Result.is_ok
+                  (Verify.port_path_election g
+                     (Option.get (Index.solve_ppe g ~depth:k)))
+            | None -> false
+          in
+          let ok_cppe =
+            match Index.psi_cppe g with
+            | Some k ->
+                Result.is_ok
+                  (Verify.complete_port_path_election g
+                     (Option.get (Index.solve_cppe g ~depth:k)))
+            | None -> false
+          in
+          ok_s && ok_pe && ok_ppe && ok_cppe)
+
+let prop_select_by_view =
+  QCheck.Test.make ~name:"Thm 2.2 scheme: correct, minimum time" ~count:100
+    rand_graph (fun params ->
+      let g = build params in
+      match Index.psi_s g with
+      | None -> QCheck.assume_fail ()
+      | Some k ->
+          let { Scheme.outputs; rounds; _ } =
+            Scheme.run Select_by_view.scheme g
+          in
+          Result.is_ok (Verify.selection g outputs) && rounds = k)
+
+let prop_map_advice_all =
+  QCheck.Test.make ~name:"map-advice schemes: correct, minimum time"
+    ~count:50 rand_graph (fun params ->
+      let g = build params in
+      match Index.psi_s g with
+      | None -> QCheck.assume_fail ()
+      | Some _ ->
+          let ok_s =
+            let r = Scheme.run Map_advice.selection g in
+            Result.is_ok (Verify.selection g r.Scheme.outputs)
+            && Some r.Scheme.rounds = Index.psi_s g
+          in
+          let ok_pe =
+            let r = Scheme.run Map_advice.port_election g in
+            Result.is_ok (Verify.port_election g r.Scheme.outputs)
+            && Some r.Scheme.rounds = Index.psi_pe g
+          in
+          let ok_ppe =
+            let r = Scheme.run Map_advice.port_path_election g in
+            Result.is_ok (Verify.port_path_election g r.Scheme.outputs)
+            && Some r.Scheme.rounds = Index.psi_ppe g
+          in
+          let ok_cppe =
+            let r = Scheme.run Map_advice.complete_port_path_election g in
+            Result.is_ok
+              (Verify.complete_port_path_election g r.Scheme.outputs)
+            && Some r.Scheme.rounds = Index.psi_cppe g
+          in
+          ok_s && ok_pe && ok_ppe && ok_cppe)
+
+let prop_selection_advice_poly =
+  (* Theorem 2.2's bound: advice <= c * ∆^ψ_S * log ∆ bits for a
+     generous constant (our gamma code is within a small factor). *)
+  QCheck.Test.make ~name:"selection advice is O(Delta^psi log Delta)"
+    ~count:100 rand_graph (fun params ->
+      let g = build params in
+      match Index.psi_s g with
+      | None -> QCheck.assume_fail ()
+      | Some k ->
+          let delta = max 2 (Port_graph.max_degree g) in
+          let rec pow b e = if e = 0 then 1.0 else float_of_int b *. pow b (e - 1) in
+          let bound =
+            32.0 *. pow delta (k + 1) *. (1.0 +. log (float_of_int delta))
+          in
+          float_of_int (Select_by_view.advice_bits g) <= bound)
+
+let prop_solvability_monotone =
+  (* More time never hurts: a task solvable in k rounds is solvable in
+     k+1 (classes only shrink, so per-class constraints only weaken). *)
+  QCheck.Test.make ~name:"solvability is monotone in depth" ~count:60
+    rand_graph (fun params ->
+      let g = build params in
+      let mono psi solve =
+        match psi g with
+        | None -> true
+        | Some k -> Option.is_some (solve g ~depth:(k + 1))
+      in
+      mono Index.psi_s (fun g ~depth -> Index.solve_s g ~depth)
+      && mono Index.psi_pe (fun g ~depth -> Index.solve_pe g ~depth)
+      && mono Index.psi_ppe (fun g ~depth -> Index.solve_ppe g ~depth)
+      && mono Index.psi_cppe (fun g ~depth -> Index.solve_cppe g ~depth))
+
+(* --- verifier robustness: guaranteed-invalid corruptions rejected --- *)
+
+let prop_verifiers_reject_corruptions =
+  QCheck.Test.make ~name:"verifiers reject corrupted outputs" ~count:100
+    rand_graph (fun params ->
+      let g = build params in
+      match Index.psi_cppe g with
+      | None -> QCheck.assume_fail ()
+      | Some k ->
+          let answers = Option.get (Index.solve_cppe g ~depth:k) in
+          let leader =
+            match Verify.complete_port_path_election g answers with
+            | Ok l -> l
+            | Error _ -> -1
+          in
+          QCheck.assume (leader >= 0);
+          let n = Port_graph.order g in
+          QCheck.assume (n >= 2);
+          let some_follower =
+            List.find (fun v -> v <> leader) (Port_graph.vertices g)
+          in
+          (* 1: a second leader *)
+          let two = Array.copy answers in
+          two.(some_follower) <- Task.Leader;
+          (* 2: no leader *)
+          let zero = Array.copy answers in
+          zero.(leader) <- Task.Follower [];
+          (* 3: empty route for a non-leader *)
+          let empty = Array.copy answers in
+          empty.(some_follower) <- Task.Follower [];
+          (* 4: out-of-range port *)
+          let bad_port = Array.copy answers in
+          bad_port.(some_follower) <- Task.Follower [ (99, 0) ];
+          (* 5: broken arrival port on the first hop *)
+          let bad_arrival = Array.copy answers in
+          (match answers.(some_follower) with
+          | Task.Follower ((p, q) :: rest) ->
+              bad_arrival.(some_follower) <-
+                Task.Follower ((p, q + 1) :: rest)
+          | _ -> ());
+          List.for_all
+            (fun mutated ->
+              Result.is_error (Verify.complete_port_path_election g mutated))
+            [ two; zero; empty; bad_port; bad_arrival ])
+
+let prop_pe_rejects_disconnecting_port =
+  (* On a path, an interior node pointing away from the leader must be
+     rejected: removing it disconnects the graph. *)
+  QCheck.Test.make ~name:"PE rejects ports pointing away on a path"
+    ~count:50
+    QCheck.(int_range 4 10)
+    (fun n ->
+      let g = Gen.path n in
+      (* leader = node 0; node 1 points right (port 0), away from 0 *)
+      let answers =
+        Array.init n (fun v ->
+            if v = 0 then Task.Leader
+            else if v = 1 then Task.Follower 0
+            else Task.Follower (if v = n - 1 then 0 else 1))
+      in
+      Result.is_error (Verify.port_election g answers))
+
+let prop_broadcast_after_selection =
+  (* Section 1: Selection suffices for leader broadcast — the flood
+     reaches everyone in exactly the leader's eccentricity. *)
+  QCheck.Test.make ~name:"broadcast after selection reaches everyone"
+    ~count:60 rand_graph (fun params ->
+      let g = build params in
+      match Index.psi_s g with
+      | None -> QCheck.assume_fail ()
+      | Some _ ->
+          let r = Scheme.run Select_by_view.scheme g in
+          let leader =
+            match Verify.selection g r.Scheme.outputs with
+            | Ok l -> l
+            | Error _ -> -1
+          in
+          let b =
+            Broadcast.run g ~selection:r.Scheme.outputs ~payload:42
+          in
+          let ecc =
+            Array.fold_left max 0 (Paths.bfs_distances g leader)
+          in
+          Array.for_all Fun.id b.Broadcast.received
+          && b.Broadcast.rounds = ecc)
+
+(* --- exact minimum advice (Min_advice) --- *)
+
+let test_min_advice_g_classes () =
+  (* Tightness of Theorem 2.9: every member of G_{delta,k} needs its own
+     advice string. *)
+  List.iter
+    (fun (delta, k) ->
+      let p = { Shades_families.Gclass.delta; k } in
+      let count = Option.get (Shades_families.Gclass.num_graphs p) in
+      let graphs =
+        List.init count (fun i ->
+            (Shades_families.Gclass.build p ~i:(i + 1))
+              .Shades_families.Gclass.graph)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "min strings G(%d,%d)" delta k)
+        count
+        (Min_advice.min_advice_strings ~depth:k graphs))
+    [ (3, 1); (3, 2) ]
+
+let test_min_advice_sharable_control () =
+  (* Distinguishing views with disjoint supports can share one string. *)
+  Alcotest.(check bool) "star+path share" true
+    (Min_advice.sharable ~depth:0 [ Gen.star 4; Gen.path 3 ]);
+  (* ... but two copies of the same graph trivially share too. *)
+  Alcotest.(check bool) "identical graphs share" true
+    (Min_advice.sharable ~depth:1 [ Gen.path 4; Gen.path 4 ]);
+  Alcotest.(check int) "two distinct families need 1 string" 1
+    (Min_advice.min_advice_strings ~depth:0 [ Gen.star 4; Gen.path 3 ])
+
+let test_min_advice_bits () =
+  Alcotest.(check (list int)) "bits_for" [ 0; 1; 1; 2; 2; 3 ]
+    (List.map Min_advice.bits_for [ 1; 2; 3; 4; 7; 9 ])
+
+let test_pe_sharable () =
+  (* Thm 3.11 pairwise: different sigma on U-class members conflicts. *)
+  let p = { Shades_families.Uclass.delta = 4; k = 1 } in
+  let graph sigma =
+    (Shades_families.Uclass.build p ~sigma).Shades_families.Uclass.graph
+  in
+  let sa = Shades_families.Uclass.uniform_sigma p 1 in
+  let sb = Shades_families.Uclass.uniform_sigma p 1 in
+  sb.(3) <- 3;
+  Alcotest.(check bool) "different sigma unsharable" false
+    (Min_advice.pe_sharable ~depth:1 (graph sa) (graph sb));
+  Alcotest.(check bool) "same sigma sharable" true
+    (Min_advice.pe_sharable ~depth:1 (graph sa)
+       (graph (Shades_families.Uclass.uniform_sigma p 1)));
+  Alcotest.(check bool) "small controls sharable" true
+    (Min_advice.pe_sharable ~depth:0 (Gen.star 4) (Gen.path 3))
+
+let () =
+  Alcotest.run "shades_election"
+    [
+      ( "verify",
+        [
+          Alcotest.test_case "selection" `Quick test_verify_selection;
+          Alcotest.test_case "port election" `Quick test_verify_port_election;
+          Alcotest.test_case "port path election" `Quick test_verify_ppe;
+          Alcotest.test_case "complete port path" `Quick test_verify_cppe;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "3-node line (paper ex.)" `Quick
+            test_index_three_node_line;
+          Alcotest.test_case "star" `Quick test_index_star;
+          Alcotest.test_case "ring infeasible" `Quick test_index_ring_infeasible;
+          Alcotest.test_case "single node" `Quick test_index_single_node;
+          Alcotest.test_case "depth gating" `Quick test_solve_rejects_small_depth;
+        ] );
+      ( "schemes",
+        [
+          Alcotest.test_case "select-by-view on line" `Quick
+            test_select_by_view_line;
+          Alcotest.test_case "map advice on line" `Quick test_map_advice_line;
+        ] );
+      ( "min_advice",
+        [
+          Alcotest.test_case "tight on G classes" `Quick
+            test_min_advice_g_classes;
+          Alcotest.test_case "sharable controls" `Quick
+            test_min_advice_sharable_control;
+          Alcotest.test_case "bits_for" `Quick test_min_advice_bits;
+          Alcotest.test_case "PE sharability" `Quick test_pe_sharable;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_hierarchy;
+            prop_solutions_verify;
+            prop_select_by_view;
+            prop_map_advice_all;
+            prop_selection_advice_poly;
+            prop_verifiers_reject_corruptions;
+            prop_pe_rejects_disconnecting_port;
+            prop_solvability_monotone;
+            prop_broadcast_after_selection;
+          ] );
+    ]

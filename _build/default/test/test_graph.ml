@@ -1,0 +1,330 @@
+(* Tests for the port-labeled graph substrate. *)
+
+open Shades_graph
+
+let three_node_line () =
+  (* The paper's running example: 3-node line with ports 0,0,1,0. *)
+  Gen.path_with_ports [ (0, 0); (1, 0) ]
+
+let test_builder_basic () =
+  let g = three_node_line () in
+  Alcotest.(check int) "order" 3 (Port_graph.order g);
+  Alcotest.(check int) "size" 2 (Port_graph.size g);
+  Alcotest.(check int) "deg v0" 1 (Port_graph.degree g 0);
+  Alcotest.(check int) "deg v1" 2 (Port_graph.degree g 1);
+  Alcotest.(check int) "max degree" 2 (Port_graph.max_degree g);
+  Alcotest.(check (pair int int)) "v0 port 0" (1, 0) (Port_graph.neighbor g 0 0);
+  Alcotest.(check (pair int int)) "v1 port 1" (2, 0) (Port_graph.neighbor g 1 1)
+
+let test_builder_rejects () =
+  let reject reason f =
+    Alcotest.check_raises reason (Invalid_argument reason) f
+  in
+  let b = Port_graph.Builder.create 3 in
+  reject "Builder.add_edge: self-loop" (fun () ->
+      Port_graph.Builder.add_edge b (0, 0) (0, 1));
+  reject "Builder.add_edge: vertex out of range" (fun () ->
+      Port_graph.Builder.add_edge b (0, 0) (3, 0));
+  Port_graph.Builder.add_edge b (0, 0) (1, 0);
+  reject "Builder.add_edge: port in use" (fun () ->
+      Port_graph.Builder.add_edge b (0, 0) (2, 0));
+  reject "Builder.add_edge: duplicate edge" (fun () ->
+      Port_graph.Builder.add_edge b (0, 1) (1, 1));
+  Alcotest.(check bool) "can_add ok" true
+    (Port_graph.Builder.can_add b (1, 1) (2, 0));
+  (* Non-contiguous port: vertex 2 uses port 1 but not port 0. *)
+  Port_graph.Builder.add_edge b (1, 1) (2, 1);
+  Alcotest.check_raises "non-contiguous"
+    (Invalid_argument
+       "Builder.finish: vertex 2 has 1 edges but port 0 is unused")
+    (fun () -> ignore (Port_graph.Builder.finish b))
+
+let test_port_to () =
+  let g = three_node_line () in
+  Alcotest.(check (option int)) "port 1->2" (Some 1) (Port_graph.port_to g 1 2);
+  Alcotest.(check (option int)) "port 0->2" None (Port_graph.port_to g 0 2)
+
+let test_ring () =
+  let g = Gen.oriented_ring 5 in
+  Alcotest.(check int) "order" 5 (Port_graph.order g);
+  Alcotest.(check int) "size" 5 (Port_graph.size g);
+  (* port 0 at c_i leads to c_{i+1}, arriving at port 1 *)
+  for i = 0 to 4 do
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "c%d successor" i)
+      ((i + 1) mod 5, 1)
+      (Port_graph.neighbor g i 0)
+  done
+
+let test_clique () =
+  let g = Gen.clique 5 in
+  Alcotest.(check int) "size" 10 (Port_graph.size g);
+  List.iter
+    (fun v -> Alcotest.(check int) "degree" 4 (Port_graph.degree g v))
+    (Port_graph.vertices g)
+
+let test_star () =
+  let g = Gen.star 6 in
+  Alcotest.(check int) "center degree" 5 (Port_graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Port_graph.degree g 3)
+
+let test_hypercube () =
+  let g = Gen.hypercube 3 in
+  Alcotest.(check int) "order" 8 (Port_graph.order g);
+  Alcotest.(check int) "size" 12 (Port_graph.size g);
+  List.iter
+    (fun v -> Alcotest.(check int) "degree" 3 (Port_graph.degree g v))
+    (Port_graph.vertices g);
+  (* port i flips bit i at both ends *)
+  Alcotest.(check (pair int int)) "port semantics" (5, 2)
+    (Port_graph.neighbor g 1 2)
+
+let test_all_labelings () =
+  (* path on 3 vertices: the middle vertex has 2! orders, leaves 1 *)
+  let ls = Gen.all_labelings 3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check int) "count" 2 (List.length ls);
+  List.iter
+    (fun g ->
+      Alcotest.(check int) "order" 3 (Port_graph.order g);
+      Alcotest.(check bool) "connected" true (Paths.is_connected g))
+    ls;
+  (* the two labelings differ *)
+  (match ls with
+  | [ a; b ] -> Alcotest.(check bool) "distinct" false (Port_graph.equal a b)
+  | _ -> Alcotest.fail "expected two labelings");
+  (* triangle: 2 orders per vertex = 8 labelings *)
+  Alcotest.(check int) "triangle" 8
+    (List.length (Gen.all_labelings 3 [ (0, 1); (1, 2); (0, 2) ]));
+  Alcotest.check_raises "explosion guarded"
+    (Invalid_argument "Gen.all_labelings: too many labelings") (fun () ->
+      (* a 9-leaf star has 9! = 362880 labelings *)
+      ignore
+        (Gen.all_labelings 10
+           (List.init 9 (fun i -> (0, i + 1)))))
+
+let test_disjoint_union () =
+  let a = Gen.path 3 and b = Gen.oriented_ring 4 in
+  let u, off = Port_graph.disjoint_union [ a; b ] in
+  Alcotest.(check int) "order" 7 (Port_graph.order u);
+  Alcotest.(check int) "offsets" 3 off.(1);
+  Alcotest.(check (pair int int))
+    "ring edge shifted" (off.(1) + 1, 1)
+    (Port_graph.neighbor u off.(1) 0);
+  Alcotest.(check bool) "union disconnected" false (Paths.is_connected u)
+
+let test_swap_ports () =
+  let g = three_node_line () in
+  let g' = Port_graph.swap_ports g 1 0 1 in
+  Alcotest.(check (pair int int)) "swapped 1:0" (2, 0)
+    (Port_graph.neighbor g' 1 0);
+  Alcotest.(check (pair int int)) "swapped 1:1" (0, 0)
+    (Port_graph.neighbor g' 1 1);
+  (* back-pointer at vertex 2 now says port 0 of v1 *)
+  Alcotest.(check (pair int int)) "backptr" (1, 0) (Port_graph.neighbor g' 2 0);
+  let g'' = Port_graph.swap_ports g' 1 0 1 in
+  Alcotest.(check bool) "double swap identity" true (Port_graph.equal g g'')
+
+let test_relabel_ports () =
+  let g = Gen.star 4 in
+  let g' = Port_graph.relabel_ports g 0 [| 2; 0; 1 |] in
+  (* old port 0 (-> vertex 1) becomes port 2 *)
+  Alcotest.(check int) "relabel" 1 (Port_graph.neighbor_vertex g' 0 2);
+  Alcotest.(check int) "relabel2" 2 (Port_graph.neighbor_vertex g' 0 0);
+  Alcotest.check_raises "not perm"
+    (Invalid_argument "Port_graph.relabel_ports: not a permutation")
+    (fun () -> ignore (Port_graph.relabel_ports g 0 [| 0; 0; 1 |]))
+
+let test_to_dot () =
+  let g = three_node_line () in
+  let dot = Port_graph.to_dot ~highlight:[ 1 ] g in
+  Alcotest.(check bool) "has header" true
+    (String.length dot > 0 && String.sub dot 0 7 = "graph G");
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length dot
+      && (String.sub dot i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "edge rendered" true (contains "0 -- 1");
+  Alcotest.(check bool) "highlight rendered" true (contains "fillcolor")
+
+let test_encode_decode () =
+  let g = Gen.clique 4 in
+  let g' = Port_graph.decode (Port_graph.encode g) in
+  Alcotest.(check bool) "roundtrip" true (Port_graph.equal g g')
+
+let test_bfs () =
+  let g = Gen.oriented_ring 6 in
+  let d = Paths.bfs_distances g 0 in
+  Alcotest.(check (list int)) "ring distances" [ 0; 1; 2; 3; 2; 1 ]
+    (Array.to_list d);
+  Alcotest.(check int) "diameter" 3 (Paths.diameter g)
+
+let test_shortest_path () =
+  let g = Gen.oriented_ring 6 in
+  Alcotest.(check (option (list int)))
+    "path 0->2" (Some [ 0; 1; 2 ])
+    (Paths.shortest_path g 0 2);
+  let vs = Option.get (Paths.shortest_path g 0 2) in
+  Alcotest.(check (list int)) "ports of walk" [ 0; 0 ] (Paths.ports_of_walk g vs);
+  Alcotest.(check (list int)) "full ports" [ 0; 1; 0; 1 ]
+    (Paths.full_ports_of_walk g vs)
+
+let test_walk_of_ports () =
+  let g = three_node_line () in
+  Alcotest.(check (option (list int)))
+    "walk" (Some [ 0; 1; 2 ])
+    (Paths.walk_of_ports g 0 [ 0; 1 ]);
+  Alcotest.(check (option (list int)))
+    "bad port" None
+    (Paths.walk_of_ports g 0 [ 0; 5 ]);
+  Alcotest.(check bool) "simple" true (Paths.is_simple [ 0; 1; 2 ]);
+  Alcotest.(check bool) "not simple" false (Paths.is_simple [ 0; 1; 0 ])
+
+let test_connected_avoiding () =
+  let g = Gen.oriented_ring 5 in
+  Alcotest.(check bool) "ring minus node still connects" true
+    (Paths.connected_avoiding g ~avoid:1 0 2);
+  let p = Gen.path 5 in
+  Alcotest.(check bool) "path cut" false
+    (Paths.connected_avoiding p ~avoid:2 0 4)
+
+let test_iso () =
+  let g = Gen.oriented_ring 5 in
+  Alcotest.(check bool) "ring self-iso" true (Iso.isomorphic g g);
+  Alcotest.(check bool) "rooted rotations" true (Iso.rooted_isomorphic g 0 g 3);
+  let h = Gen.path 5 in
+  Alcotest.(check bool) "ring vs path" false (Iso.isomorphic g h);
+  (* All 3-node lines are isomorphic (reversal swaps the leaves). *)
+  let a = Gen.path_with_ports [ (0, 0); (1, 0) ] in
+  let b = Gen.path_with_ports [ (0, 1); (0, 0) ] in
+  Alcotest.(check bool) "3-lines isomorphic" true (Iso.isomorphic a b);
+  (* Swapping one interior vertex's ports on a 4-path breaks both the
+     identity and the reversal, the only candidate bijections. *)
+  let p4 = Gen.path 4 in
+  let p4' = Port_graph.swap_ports p4 1 0 1 in
+  Alcotest.(check bool) "different ports" false (Iso.isomorphic p4 p4')
+
+(* Property tests *)
+
+let rand_graph =
+  (* A deterministic family of random connected graphs. *)
+  QCheck.make
+    ~print:(fun (seed, n, e) -> Printf.sprintf "seed=%d n=%d extra=%d" seed n e)
+    QCheck.Gen.(
+      triple (int_bound 10_000) (int_range 2 30) (int_bound 20))
+
+let build (seed, n, extra) =
+  Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra
+
+let prop_random_valid =
+  QCheck.Test.make ~name:"random graphs validate and connect" ~count:200
+    rand_graph (fun params ->
+      let g = build params in
+      Paths.is_connected g
+      && Port_graph.order g = (let _, n, _ = params in n))
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"neighbor relation is symmetric" ~count:200 rand_graph
+    (fun params ->
+      let g = build params in
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun p ->
+              let u, q = Port_graph.neighbor g v p in
+              Port_graph.neighbor g u q = (v, p))
+            (List.init (Port_graph.degree g v) Fun.id))
+        (Port_graph.vertices g))
+
+let prop_encode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:100 rand_graph
+    (fun params ->
+      let g = build params in
+      Port_graph.equal g (Port_graph.decode (Port_graph.encode g)))
+
+let prop_union_preserves =
+  QCheck.Test.make ~name:"disjoint union preserves components" ~count:100
+    QCheck.(pair rand_graph rand_graph) (fun (pa, pb) ->
+      let a = build pa and b = build pb in
+      let u, off = Port_graph.disjoint_union [ a; b ] in
+      Port_graph.order u = Port_graph.order a + Port_graph.order b
+      && Port_graph.size u = Port_graph.size a + Port_graph.size b
+      && off.(0) = 0
+      && off.(1) = Port_graph.order a)
+
+let prop_swap_involution =
+  QCheck.Test.make ~name:"swap_ports is an involution" ~count:200 rand_graph
+    (fun params ->
+      let g = build params in
+      let v = 0 in
+      let d = Port_graph.degree g v in
+      QCheck.assume (d >= 2);
+      let g' = Port_graph.swap_ports g v 0 (d - 1) in
+      Port_graph.equal g (Port_graph.swap_ports g' v 0 (d - 1)))
+
+let prop_shortest_path_length =
+  QCheck.Test.make ~name:"shortest_path length matches bfs" ~count:100
+    rand_graph (fun params ->
+      let g = build params in
+      let dist = Paths.bfs_distances g 0 in
+      List.for_all
+        (fun u ->
+          match Paths.shortest_path g 0 u with
+          | None -> false
+          | Some vs ->
+              List.length vs = dist.(u) + 1 && Paths.is_simple vs)
+        (Port_graph.vertices g))
+
+let prop_iso_reflexive =
+  QCheck.Test.make ~name:"isomorphism is reflexive" ~count:50 rand_graph
+    (fun params ->
+      let g = build params in
+      Iso.isomorphic g g)
+
+let () =
+  Alcotest.run "shades_graph"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "rejects invalid" `Quick test_builder_rejects;
+          Alcotest.test_case "port_to" `Quick test_port_to;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "oriented ring" `Quick test_ring;
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "all labelings" `Quick test_all_labelings;
+        ] );
+      ( "surgery",
+        [
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "swap ports" `Quick test_swap_ports;
+          Alcotest.test_case "relabel ports" `Quick test_relabel_ports;
+          Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+          Alcotest.test_case "walk of ports" `Quick test_walk_of_ports;
+          Alcotest.test_case "connected avoiding" `Quick test_connected_avoiding;
+        ] );
+      ("iso", [ Alcotest.test_case "isomorphism" `Quick test_iso ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_valid;
+            prop_symmetry;
+            prop_encode_roundtrip;
+            prop_union_preserves;
+            prop_swap_involution;
+            prop_shortest_path_length;
+            prop_iso_reflexive;
+          ] );
+    ]

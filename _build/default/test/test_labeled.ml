@@ -1,0 +1,133 @@
+(* Tests for the classical labeled-network election baselines. *)
+
+open Shades_graph
+open Shades_labeled
+open Shades_election
+
+let shuffled n seed =
+  let st = Random.State.make [| seed |] in
+  let a = Array.init n (fun i -> (i * 7) + 3) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(* A strong labeled election is correct when exactly one node outputs
+   Leader and every follower announces the same value; for LCR/HS that
+   value is the maximum label and the leader owns it. *)
+let check_election ?expect_max outputs labels =
+  let leaders = ref [] in
+  let announcements = ref [] in
+  Array.iteri
+    (fun v -> function
+      | Task.Leader -> leaders := v :: !leaders
+      | Task.Follower l -> announcements := l :: !announcements)
+    outputs;
+  match !leaders with
+  | [ leader ] ->
+      let same =
+        match !announcements with
+        | [] -> true
+        | l :: rest -> List.for_all (( = ) l) rest
+      in
+      let max_ok =
+        match expect_max with
+        | Some true ->
+            labels.(leader) = Array.fold_left max min_int labels
+            && List.for_all
+                 (( = ) labels.(leader))
+                 !announcements
+        | _ -> true
+      in
+      same && max_ok
+  | _ -> false
+
+let test_duplicate_labels_rejected () =
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Labeled.run: duplicate labels") (fun () ->
+      ignore
+        (Model.run (Gen.oriented_ring 3) ~labels:[| 1; 1; 2 |]
+           (Flood_max.algorithm ~n:3)))
+
+let test_ring_only_guard () =
+  Alcotest.check_raises "LCR on star"
+    (Invalid_argument "Chang_roberts: ring only") (fun () ->
+      ignore
+        (Model.run (Gen.star 4) ~labels:[| 4; 1; 2; 3 |]
+           Chang_roberts.algorithm))
+
+let prop_ring_algorithms_correct =
+  QCheck.Test.make ~name:"LCR/HS/Peterson elect exactly one leader"
+    ~count:60
+    QCheck.(pair (int_range 3 40) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Gen.oriented_ring n in
+      let labels = shuffled n seed in
+      let lcr = Model.run g ~labels Chang_roberts.algorithm in
+      let hs = Model.run g ~labels Hirschberg_sinclair.algorithm in
+      let pet = Model.run g ~labels Peterson.algorithm in
+      check_election ~expect_max:true lcr.Model.outputs labels
+      && check_election ~expect_max:true hs.Model.outputs labels
+      && check_election pet.Model.outputs labels)
+
+let prop_flood_max_correct =
+  QCheck.Test.make ~name:"flood-max elects the maximum label on any graph"
+    ~count:60
+    QCheck.(triple (int_range 2 30) (int_bound 8) (int_bound 10_000))
+    (fun (n, extra, seed) ->
+      let g = Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra in
+      let labels = shuffled n (seed + 1) in
+      let r = Model.run g ~labels (Flood_max.algorithm ~n) in
+      check_election ~expect_max:true r.Model.outputs labels)
+
+let prop_message_complexity_shapes =
+  (* Worst-case LCR is quadratic; HS and Peterson stay O(n log n). *)
+  QCheck.Test.make ~name:"message complexity: LCR quadratic, HS/Peterson not"
+    ~count:8
+    QCheck.(int_range 32 100)
+    (fun n ->
+      let g = Gen.oriented_ring n in
+      let desc = Array.init n (fun i -> n - i) in
+      let lcr = Model.run g ~labels:desc Chang_roberts.algorithm in
+      let hs = Model.run g ~labels:desc Hirschberg_sinclair.algorithm in
+      let pet = Model.run g ~labels:desc Peterson.algorithm in
+      let fn = float_of_int n in
+      let log2n = log fn /. log 2.0 in
+      (* LCR on a descending ring does Θ(n²)/2 token hops *)
+      float_of_int lcr.Model.messages >= (fn *. fn /. 2.0) -. (3.0 *. fn)
+      && float_of_int hs.Model.messages <= 16.0 *. fn *. (log2n +. 2.0)
+      && float_of_int pet.Model.messages <= 16.0 *. fn *. (log2n +. 2.0))
+
+let test_known_counts () =
+  (* Pin down exact counts on a small instance so regressions surface. *)
+  let g = Gen.oriented_ring 4 in
+  let labels = [| 2; 4; 1; 3 |] in
+  let lcr = Model.run g ~labels Chang_roberts.algorithm in
+  Alcotest.(check bool) "LCR ok" true
+    (check_election ~expect_max:true lcr.Model.outputs labels);
+  Alcotest.(check int) "LCR messages" 11 lcr.Model.messages;
+  let hs = Model.run g ~labels Hirschberg_sinclair.algorithm in
+  Alcotest.(check bool) "HS ok" true
+    (check_election ~expect_max:true hs.Model.outputs labels)
+
+let () =
+  Alcotest.run "shades_labeled"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "duplicate labels" `Quick
+            test_duplicate_labels_rejected;
+          Alcotest.test_case "ring guard" `Quick test_ring_only_guard;
+          Alcotest.test_case "known counts" `Quick test_known_counts;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ring_algorithms_correct;
+            prop_flood_max_correct;
+            prop_message_complexity_shapes;
+          ] );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the LOCAL-model simulator. *)
+
+open Shades_graph
+open Shades_views
+open Shades_localsim
+
+let no_advice = Shades_bits.Bitstring.empty
+
+(* A trivial algorithm that just counts down [r] rounds and then outputs
+   its degree. *)
+let countdown r =
+  {
+    Engine.init = (fun ~degree ~advice:_ -> (degree, r));
+    send = (fun (_, left) ~port:_ -> if left > 0 then Some () else None);
+    step = (fun (d, left) _ -> (d, left - 1));
+    output = (fun (d, left) -> if left <= 0 then Some d else None);
+  }
+
+let test_round_counting () =
+  let g = Gen.oriented_ring 5 in
+  let result = Engine.run g ~advice:no_advice (countdown 3) in
+  Alcotest.(check int) "rounds" 3 result.Engine.rounds;
+  Alcotest.(check (array int)) "outputs" [| 2; 2; 2; 2; 2 |]
+    result.Engine.outputs
+
+let test_zero_rounds () =
+  let g = Gen.path 3 in
+  let result = Engine.run g ~advice:no_advice (countdown 0) in
+  Alcotest.(check int) "no rounds" 0 result.Engine.rounds
+
+let test_nontermination () =
+  let never =
+    {
+      Engine.init = (fun ~degree:_ ~advice:_ -> ());
+      send = (fun () ~port:_ -> Some ());
+      step = (fun () _ -> ());
+      output = (fun () -> None);
+    }
+  in
+  let g = Gen.path 3 in
+  Alcotest.check_raises "raises" (Engine.Did_not_terminate 5) (fun () ->
+      ignore (Engine.run ~max_rounds:5 g ~advice:no_advice never))
+
+let test_advice_delivered () =
+  (* Every node must receive the same advice string. *)
+  let advice = Shades_bits.Bitstring.of_string "1011" in
+  let echo =
+    {
+      Engine.init =
+        (fun ~degree:_ ~advice -> Shades_bits.Bitstring.to_string advice);
+      send = (fun _ ~port:_ -> None);
+      step = (fun st _ -> st);
+      output = (fun st -> Some st);
+    }
+  in
+  let g = Gen.path 3 in
+  let result = Engine.run g ~advice echo in
+  Alcotest.(check (array string)) "advice" [| "1011"; "1011"; "1011" |]
+    result.Engine.outputs
+
+(* Flooding: each node outputs the round at which it first heard from a
+   degree-1 node (leaves output 0).  On a path, that is the distance to
+   the nearest endpoint — exercises real message propagation. *)
+let flooding =
+  let send st ~port:_ =
+    match st with `Heard (_, true) -> Some () | _ -> None
+  in
+  {
+    Engine.init =
+      (fun ~degree ~advice:_ ->
+        if degree = 1 then `Heard (0, true) else `Waiting 0);
+    send;
+    step =
+      (fun st inbox ->
+        match st with
+        | `Heard (r, _) -> `Heard (r, false)
+        | `Waiting r ->
+            if inbox <> [] then `Heard (r + 1, true) else `Waiting (r + 1));
+    output =
+      (fun st -> match st with `Heard (r, _) -> Some r | `Waiting _ -> None);
+  }
+
+let test_flooding_distances () =
+  let g = Gen.path 7 in
+  let result = Engine.run g ~advice:no_advice flooding in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 2; 1; 0 |]
+    result.Engine.outputs
+
+(* The full-information protocol must reconstruct exactly B^r. *)
+
+let rand_graph =
+  QCheck.make
+    ~print:(fun (seed, n, e, d) ->
+      Printf.sprintf "seed=%d n=%d extra=%d rounds=%d" seed n e d)
+    QCheck.Gen.(
+      quad (int_bound 10_000) (int_range 2 10) (int_bound 5) (int_range 0 3))
+
+let prop_full_info_views =
+  QCheck.Test.make ~name:"full-info protocol gathers exactly B^r" ~count:100
+    rand_graph (fun (seed, n, extra, rounds) ->
+      let g = Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra in
+      let views =
+        Full_info.run g ~rounds ~advice:no_advice
+          ~decide:(fun ~advice:_ view -> view)
+      in
+      List.for_all
+        (fun v ->
+          View_tree.equal views.(v) (View_tree.of_graph g v ~depth:rounds))
+        (Port_graph.vertices g))
+
+let prop_adaptive_rounds =
+  QCheck.Test.make ~name:"adaptive round count honoured" ~count:50 rand_graph
+    (fun (seed, n, extra, rounds) ->
+      let g = Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra in
+      let _, used =
+        Full_info.run_adaptive g ~advice:no_advice
+          ~rounds_of:(fun ~advice:_ ~degree:_ -> rounds)
+          ~decide:(fun ~advice:_ _ -> ())
+      in
+      used = rounds)
+
+(* --- asynchronous execution with time-stamps --- *)
+
+let test_async_flooding () =
+  (* The α-synchronizer makes asynchronous delays invisible. *)
+  let g = Gen.path 7 in
+  List.iter
+    (fun seed ->
+      let result = Async_engine.run ~seed g ~advice:no_advice flooding in
+      Alcotest.(check (array int))
+        (Printf.sprintf "async distances (seed %d)" seed)
+        [| 0; 1; 2; 3; 2; 1; 0 |] result.Engine.outputs)
+    [ 0; 1; 2; 17 ]
+
+let test_async_zero_rounds () =
+  let g = Gen.path 3 in
+  let result = Async_engine.run g ~advice:no_advice (countdown 0) in
+  Alcotest.(check int) "no rounds" 0 result.Engine.rounds
+
+let test_async_nontermination () =
+  let never =
+    {
+      Engine.init = (fun ~degree:_ ~advice:_ -> ());
+      send = (fun () ~port:_ -> Some ());
+      step = (fun () _ -> ());
+      output = (fun () -> None);
+    }
+  in
+  let g = Gen.path 3 in
+  match Async_engine.run ~max_rounds:5 g ~advice:no_advice never with
+  | exception Engine.Did_not_terminate _ -> ()
+  | _ -> Alcotest.fail "expected Did_not_terminate"
+
+let prop_async_equals_sync =
+  (* Any delay schedule yields the synchronous outputs and round count. *)
+  QCheck.Test.make ~name:"async run = sync run (countdown, flooding)"
+    ~count:100
+    QCheck.(triple (int_bound 10_000) (int_range 2 10) (int_bound 5))
+    (fun (seed, n, extra) ->
+      let g = Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra in
+      (* flooding starts from degree-1 nodes and hangs without one *)
+      QCheck.assume
+        (List.exists
+           (fun v -> Port_graph.degree g v = 1)
+           (Port_graph.vertices g));
+      let sync_c = Engine.run g ~advice:no_advice (countdown 3) in
+      let async_c =
+        Async_engine.run ~seed g ~advice:no_advice (countdown 3)
+      in
+      let sync_f = Engine.run g ~advice:no_advice flooding in
+      let async_f = Async_engine.run ~seed g ~advice:no_advice flooding in
+      sync_c.Engine.outputs = async_c.Engine.outputs
+      && sync_c.Engine.rounds = async_c.Engine.rounds
+      && sync_f.Engine.outputs = async_f.Engine.outputs
+      && sync_f.Engine.rounds = async_f.Engine.rounds)
+
+let prop_async_full_info =
+  (* The view-exchange protocol survives asynchrony: B^r gathered
+     exactly, under every delay schedule. *)
+  QCheck.Test.make ~name:"async full-info gathers exactly B^r" ~count:50
+    rand_graph (fun (seed, n, extra, rounds) ->
+      let g = Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra in
+      let alg =
+        {
+          Engine.init =
+            (fun ~degree ~advice:_ ->
+              (rounds, { View_tree.degree; children = [||] }));
+          send =
+            (fun (target, view) ~port ->
+              if target = 0 then None else Some (port, view));
+          step =
+            (fun (target, view) inbox ->
+              if target = 0 then (target, view)
+              else begin
+                let degree = view.View_tree.degree in
+                let children = Array.make degree (0, view) in
+                List.iter
+                  (fun (p, (q, sub)) -> children.(p) <- (q, sub))
+                  inbox;
+                (target - 1, { View_tree.degree; children })
+              end);
+          output =
+            (fun (target, view) -> if target = 0 then Some view else None);
+        }
+      in
+      let result = Async_engine.run ~seed g ~advice:no_advice alg in
+      List.for_all
+        (fun v ->
+          View_tree.equal result.Engine.outputs.(v)
+            (View_tree.of_graph g v ~depth:rounds))
+        (Port_graph.vertices g))
+
+let () =
+  Alcotest.run "shades_localsim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "round counting" `Quick test_round_counting;
+          Alcotest.test_case "zero rounds" `Quick test_zero_rounds;
+          Alcotest.test_case "nontermination" `Quick test_nontermination;
+          Alcotest.test_case "advice" `Quick test_advice_delivered;
+          Alcotest.test_case "flooding" `Quick test_flooding_distances;
+        ] );
+      ( "full_info",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_full_info_views; prop_adaptive_rounds ] );
+      ( "async",
+        Alcotest.test_case "flooding" `Quick test_async_flooding
+        :: Alcotest.test_case "zero rounds" `Quick test_async_zero_rounds
+        :: Alcotest.test_case "nontermination" `Quick test_async_nontermination
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_async_equals_sync; prop_async_full_info ] );
+    ]

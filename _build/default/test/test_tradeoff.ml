@@ -1,0 +1,266 @@
+(* Tests for the time-vs-advice tradeoff layer: hash-consed views,
+   graph reconstruction from one deep view, canonical ordering, and the
+   O(log n)-advice schemes at time 2(n-1). *)
+
+open Shades_graph
+open Shades_views
+open Shades_election
+
+let rand_graph =
+  QCheck.make
+    ~print:(fun (seed, n, e) -> Printf.sprintf "seed=%d n=%d extra=%d" seed n e)
+    QCheck.Gen.(triple (int_bound 10_000) (int_range 2 9) (int_bound 6))
+
+let build (seed, n, extra) =
+  Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra
+
+(* --- Cview --- *)
+
+let test_cview_basics () =
+  let g = Gen.path 4 in
+  let ctx = Cview.create_ctx () in
+  let a = Cview.of_graph ctx g 0 ~depth:3 in
+  let b = Cview.of_graph ctx g 0 ~depth:3 in
+  Alcotest.(check bool) "interned equal" true (Cview.equal a b);
+  Alcotest.(check int) "height" 3 a.Cview.height;
+  let c = Cview.of_graph ctx g 3 ~depth:3 in
+  Alcotest.(check bool) "distinct nodes differ" false (Cview.equal a c);
+  (* sharing: a deep view on a large graph stays small *)
+  let big = Gen.oriented_ring 50 in
+  let ctx2 = Cview.create_ctx () in
+  let deep = Cview.of_graph ctx2 big 0 ~depth:98 in
+  Alcotest.(check int) "deep height" 98 deep.Cview.height
+
+let prop_cview_matches_tree =
+  QCheck.Test.make ~name:"Cview.to_tree = View_tree.of_graph" ~count:100
+    rand_graph (fun params ->
+      let g = build params in
+      let ctx = Cview.create_ctx () in
+      List.for_all
+        (fun depth ->
+          List.for_all
+            (fun v ->
+              View_tree.equal
+                (Cview.to_tree (Cview.of_graph ctx g v ~depth))
+                (View_tree.of_graph g v ~depth))
+            (Port_graph.vertices g))
+        [ 0; 1; 2; 3 ])
+
+let prop_cview_equal_iff_views_equal =
+  QCheck.Test.make ~name:"Cview ids decide view equality" ~count:100
+    rand_graph (fun params ->
+      let g = build params in
+      let depth = 2 in
+      let ctx = Cview.create_ctx () in
+      let t = Refinement.compute g ~depth in
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun u ->
+              Cview.equal
+                (Cview.of_graph ctx g v ~depth)
+                (Cview.of_graph ctx g u ~depth)
+              = Refinement.equal_views t ~depth v u)
+            (Port_graph.vertices g))
+        (Port_graph.vertices g))
+
+let prop_cview_truncate =
+  QCheck.Test.make ~name:"Cview.truncate = shallow build" ~count:100 rand_graph
+    (fun params ->
+      let g = build params in
+      let ctx = Cview.create_ctx () in
+      let deep = Cview.of_graph ctx g 0 ~depth:4 in
+      List.for_all
+        (fun d ->
+          Cview.equal
+            (Cview.truncate ctx deep ~depth:d)
+            (Cview.of_graph ctx g 0 ~depth:d))
+        [ 0; 1; 2; 3; 4 ])
+
+(* --- reconstruction --- *)
+
+let prop_reconstruct_isomorphic =
+  QCheck.Test.make ~name:"graph_of_cview rebuilds the graph (up to iso)"
+    ~count:150 rand_graph (fun params ->
+      let g = build params in
+      QCheck.assume (Refinement.feasible g);
+      let n = Port_graph.order g in
+      let ctx = Cview.create_ctx () in
+      List.for_all
+        (fun v ->
+          let view =
+            Cview.of_graph ctx g v ~depth:(Reconstruct.rounds_needed ~n)
+          in
+          let local, me = Reconstruct.graph_of_cview ctx view ~n in
+          Iso.rooted_isomorphic g v local me)
+        (Port_graph.vertices g))
+
+let test_reconstruct_too_shallow () =
+  let g = Gen.path 5 in
+  let ctx = Cview.create_ctx () in
+  let view = Cview.of_graph ctx g 0 ~depth:3 in
+  Alcotest.check_raises "too shallow"
+    (Invalid_argument "Reconstruct: view too shallow for claimed n")
+    (fun () -> ignore (Reconstruct.graph_of_cview ctx view ~n:5))
+
+let test_reconstruct_explicit_wrapper () =
+  let g = Gen.star 5 in
+  let tree = View_tree.of_graph g 2 ~depth:(Reconstruct.rounds_needed ~n:5) in
+  let local = Reconstruct.graph_of_view tree ~n:5 in
+  Alcotest.(check bool) "star rebuilt" true (Iso.isomorphic g local)
+
+(* --- canonical order and canonical form --- *)
+
+let prop_canonical_order_invariant =
+  QCheck.Test.make ~name:"canonical_order independent of numbering"
+    ~count:100 rand_graph (fun params ->
+      let g = build params in
+      QCheck.assume (Refinement.feasible g);
+      let n = Port_graph.order g in
+      (* shuffle the vertex numbering and check the canonical graphs agree *)
+      let st = Random.State.make [| 99 |] in
+      let shuffle = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = shuffle.(i) in
+        shuffle.(i) <- shuffle.(j);
+        shuffle.(j) <- t
+      done;
+      let g' = Port_graph.renumber g shuffle in
+      match
+        (Refinement.canonical_order g, Refinement.canonical_order g')
+      with
+      | Some p, Some p' ->
+          Port_graph.equal
+            (Port_graph.renumber g p)
+            (Port_graph.renumber g' p')
+      | _ -> false)
+
+let prop_canonical_matches_bfs_canonical =
+  QCheck.Test.make ~name:"Port_graph.canonical invariant too" ~count:50
+    rand_graph (fun params ->
+      let g = build params in
+      let n = Port_graph.order g in
+      let st = Random.State.make [| 7 |] in
+      let shuffle = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = shuffle.(i) in
+        shuffle.(i) <- shuffle.(j);
+        shuffle.(j) <- t
+      done;
+      let g' = Port_graph.renumber g shuffle in
+      QCheck.assume (Refinement.feasible g);
+      Port_graph.equal
+        (fst (Port_graph.canonical g))
+        (fst (Port_graph.canonical g')))
+
+let test_canonical_order_infeasible () =
+  Alcotest.(check bool) "ring has no canonical order" true
+    (Refinement.canonical_order (Gen.oriented_ring 5) = None)
+
+(* --- compact runner --- *)
+
+let prop_compact_runner_views =
+  QCheck.Test.make ~name:"compact protocol gathers exactly B^r" ~count:80
+    rand_graph (fun params ->
+      let g = build params in
+      let rounds = 3 in
+      let views =
+        Shades_localsim.Compact_info.run g ~rounds
+          ~advice:Shades_bits.Bitstring.empty
+          ~decide:(fun ~advice:_ _ctx view -> Cview.to_tree view)
+      in
+      List.for_all
+        (fun v ->
+          View_tree.equal views.(v) (View_tree.of_graph g v ~depth:rounds))
+        (Port_graph.vertices g))
+
+(* --- size-advice schemes --- *)
+
+let check_scheme scheme verify params =
+  let g = build params in
+  QCheck.assume (Refinement.feasible g);
+  let n = Port_graph.order g in
+  let r = Size_advice.run scheme g in
+  Result.is_ok (verify g r.Size_advice.outputs)
+  && r.Size_advice.rounds = Reconstruct.rounds_needed ~n
+  && r.Size_advice.advice_bits <= (2 * 30) + 1
+
+let prop_size_advice_s =
+  QCheck.Test.make ~name:"size-advice S correct at time 2(n-1)" ~count:80
+    rand_graph
+    (check_scheme Size_advice.selection Verify.selection)
+
+let prop_size_advice_pe =
+  QCheck.Test.make ~name:"size-advice PE correct" ~count:80 rand_graph
+    (check_scheme Size_advice.port_election Verify.port_election)
+
+let prop_size_advice_ppe =
+  QCheck.Test.make ~name:"size-advice PPE correct" ~count:80 rand_graph
+    (check_scheme Size_advice.port_path_election Verify.port_path_election)
+
+let prop_size_advice_cppe =
+  QCheck.Test.make ~name:"size-advice CPPE correct" ~count:80 rand_graph
+    (check_scheme Size_advice.complete_port_path_election
+       Verify.complete_port_path_election)
+
+let test_size_advice_on_gclass () =
+  (* The tradeoff in action: minimum time needs view-sized advice; time
+     2(n-1) needs only gamma(n) bits. *)
+  let t = Shades_families.Gclass.build { Shades_families.Gclass.delta = 4; k = 1 } ~i:3 in
+  let g = t.Shades_families.Gclass.graph in
+  let min_time = Scheme.run Select_by_view.scheme g in
+  let relaxed = Size_advice.run Size_advice.selection g in
+  Alcotest.(check bool) "both correct" true
+    (Result.is_ok (Verify.selection g min_time.Scheme.outputs)
+    && Result.is_ok (Verify.selection g relaxed.Size_advice.outputs));
+  Alcotest.(check bool) "relaxed time is larger" true
+    (relaxed.Size_advice.rounds > min_time.Scheme.rounds);
+  Alcotest.(check bool) "relaxed advice is smaller" true
+    (relaxed.Size_advice.advice_bits < min_time.Scheme.advice_bits)
+
+let test_size_advice_single_node () =
+  let g = Port_graph.Builder.finish (Port_graph.Builder.create 1) in
+  let r = Size_advice.run Size_advice.selection g in
+  Alcotest.(check bool) "single node leads" true
+    (r.Size_advice.outputs = [| Task.Leader |])
+
+let () =
+  Alcotest.run "shades_tradeoff"
+    [
+      ( "cview",
+        Alcotest.test_case "basics" `Quick test_cview_basics
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_cview_matches_tree;
+               prop_cview_equal_iff_views_equal;
+               prop_cview_truncate;
+             ] );
+      ( "reconstruct",
+        Alcotest.test_case "too shallow" `Quick test_reconstruct_too_shallow
+        :: Alcotest.test_case "explicit wrapper" `Quick
+             test_reconstruct_explicit_wrapper
+        :: List.map QCheck_alcotest.to_alcotest [ prop_reconstruct_isomorphic ]
+      );
+      ( "canonical",
+        Alcotest.test_case "infeasible" `Quick test_canonical_order_infeasible
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_canonical_order_invariant;
+               prop_canonical_matches_bfs_canonical;
+             ] );
+      ( "schemes",
+        Alcotest.test_case "tradeoff on G-class" `Quick
+          test_size_advice_on_gclass
+        :: Alcotest.test_case "single node" `Quick
+             test_size_advice_single_node
+        :: List.map QCheck_alcotest.to_alcotest
+             [
+               prop_compact_runner_views;
+               prop_size_advice_s;
+               prop_size_advice_pe;
+               prop_size_advice_ppe;
+               prop_size_advice_cppe;
+             ] );
+    ]
