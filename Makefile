@@ -1,0 +1,31 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all check build test smoke sweep bench clean
+
+all: check
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The tier-1 gate: full build, full test suite, and a smoke sweep
+# through the parallel runtime (writes /tmp/shades_smoke_sweep.json).
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/shades_cli.exe -- sweep --tiny -o /tmp/shades_smoke_sweep.json
+
+smoke:
+	dune exec bin/shades_cli.exe -- sweep --tiny -o /tmp/shades_smoke_sweep.json
+
+# Regenerate the committed sweep baseline.
+sweep:
+	dune exec bin/shades_cli.exe -- sweep --family both -o BENCH_sweep.json
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -256,6 +256,156 @@ let labelings_cmd =
           and indexes.")
     Term.(const run $ skel_arg)
 
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let open Shades_runtime in
+  let run family delta_lo delta_hi k_lo k_hi sigmas is domains out tiny
+      compare_with =
+    let domains =
+      match domains with Some d -> d | None -> Pool.default_domains ()
+    in
+    (* --tiny: the smallest honest grid — the CI smoke test *)
+    let family, delta_lo, delta_hi, k_lo, k_hi, sigmas, is =
+      if tiny then ("g", 3, 4, 1, 1, [ 1 ], [ 2 ]) else
+        (family, delta_lo, delta_hi, k_lo, k_hi, sigmas, is)
+    in
+    let delta = Sweep.range "delta" ~lo:delta_lo ~hi:delta_hi in
+    let k = Sweep.range "k" ~lo:k_lo ~hi:k_hi in
+    let g_jobs () =
+      Sweep.gclass_jobs (Sweep.cross [ delta; k; Sweep.axis "i" is ])
+    in
+    let u_jobs () =
+      Sweep.uclass_jobs (Sweep.cross [ delta; k; Sweep.axis "sigma" sigmas ])
+    in
+    let jobs =
+      match family with
+      | "g" -> g_jobs ()
+      | "u" -> u_jobs ()
+      | "both" -> g_jobs () @ u_jobs ()
+      | f -> failwith ("unknown family: " ^ f ^ " (expected g, u or both)")
+    in
+    if jobs = [] then failwith "sweep: empty grid (all points invalid)";
+    let t0 = Unix.gettimeofday () in
+    let records = Sweep.run ~domains jobs in
+    let dt = Unix.gettimeofday () -. t0 in
+    let store =
+      Store.make
+        ~label:
+          (Printf.sprintf "family=%s delta=%d..%d k=%d..%d" family delta_lo
+             delta_hi k_lo k_hi)
+        records
+    in
+    Store.save ~path:out store;
+    Printf.printf "%-28s %8s %7s %10s %12s %10s %9s\n" "point" "n" "rounds"
+      "messages" "advice bits" "verified" "wall";
+    List.iter
+      (fun r ->
+        let param_str =
+          String.concat " "
+            (List.map
+               (fun (name, v) ->
+                 match v with
+                 | Store.Json.String s -> s
+                 | v -> name ^ "=" ^ Store.Json.to_string v)
+               r.Store.params)
+        in
+        let counter name =
+          match Store.metric r name with
+          | Some (Metrics.Counter c) -> c
+          | _ -> 0
+        in
+        Printf.printf "%-28s %8d %7d %10d %12d %10s %8.2fs\n" param_str
+          (counter "graph_order") r.Store.rounds r.Store.messages
+          r.Store.advice_bits
+          (if counter "verified" = 1 then "ok" else "FAILED")
+          (float_of_int r.Store.wall_ns /. 1e9))
+      records;
+    Printf.printf "wrote %s: %d records, %.2fs wall, %d domain%s\n" out
+      (List.length records) dt domains
+      (if domains = 1 then "" else "s");
+    (match compare_with with
+    | None -> ()
+    | Some path -> (
+        match Store.load ~path with
+        | Error e -> failwith ("cannot load baseline " ^ path ^ ": " ^ e)
+        | Ok baseline -> (
+            match Store.diff ~baseline ~current:store with
+            | [] -> Printf.printf "no drift against %s\n" path
+            | lines ->
+                Printf.printf "drift against %s:\n" path;
+                List.iter (fun l -> Printf.printf "  %s\n" l) lines)));
+    if
+      List.exists
+        (fun r ->
+          match Store.metric r "verified" with
+          | Some (Metrics.Counter 1) -> false
+          | _ -> true)
+        records
+    then failwith "sweep: some runs failed verification"
+  in
+  let family_arg =
+    Arg.(
+      value & opt string "g"
+      & info [ "family" ] ~docv:"FAM"
+          ~doc:"Family to sweep: g (Selection on G), u (Port Election on U), \
+                or both.")
+  in
+  let range_arg name default_lo default_hi =
+    ( Arg.(
+        value & opt int default_lo
+        & info [ name ^ "-min" ] ~docv:"N" ~doc:("Smallest " ^ name ^ ".")),
+      Arg.(
+        value & opt int default_hi
+        & info [ name ^ "-max" ] ~docv:"N" ~doc:("Largest " ^ name ^ ".")) )
+  in
+  let delta_lo, delta_hi = range_arg "delta" 4 6 in
+  let k_lo, k_hi = range_arg "k" 1 2 in
+  let sigmas_arg =
+    Arg.(
+      value & opt (list int) [ 1 ]
+      & info [ "sigma" ] ~docv:"S,..."
+          ~doc:"Uniform sigma values for the U family axis.")
+  in
+  let is_arg =
+    Arg.(
+      value & opt (list int) [ 2; 3 ]
+      & info [ "i" ] ~docv:"I,..." ~doc:"Graph indexes for the G family axis.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains (default: recommended count minus one).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_sweep.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Results file to write.")
+  in
+  let tiny_arg =
+    Arg.(
+      value & flag
+      & info [ "tiny" ]
+          ~doc:"Smoke-test grid (overrides family/range flags) — used by \
+                'make check'.")
+  in
+  let compare_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:"Diff the results against a previously saved store (timing \
+                fields ignored).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a parameter grid over the lower-bound families in parallel and \
+          write a schema-versioned results store.")
+    Term.(
+      const run $ family_arg $ delta_lo $ delta_hi $ k_lo $ k_hi $ sigmas_arg
+      $ is_arg $ domains_arg $ out_arg $ tiny_arg $ compare_arg)
+
 (* --- families --- *)
 
 let delta_arg =
@@ -358,5 +508,5 @@ let () =
           [
             index_cmd; views_cmd; elect_cmd; dot_cmd; quotient_cmd;
             tradeoff_cmd; labelings_cmd; family_g_cmd; family_u_cmd;
-            family_j_cmd;
+            family_j_cmd; sweep_cmd;
           ]))

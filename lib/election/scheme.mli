@@ -26,16 +26,31 @@ type 'o run = {
 }
 
 (** Execute the scheme on [g] through the LOCAL simulator (the node
-    algorithm really exchanges messages; nothing is shortcut). *)
-val run : 'o t -> Shades_graph.Port_graph.t -> 'o run
+    algorithm really exchanges messages; nothing is shortcut).
+    [on_round] is forwarded to the engine: per-round telemetry (round
+    number, cumulative messages) for the sweep runtime. *)
+val run :
+  ?on_round:(round:int -> messages:int -> unit) ->
+  'o t ->
+  Shades_graph.Port_graph.t ->
+  'o run
 
 (** [run_with_advice scheme g ~advice] runs the distributed part under a
     forced advice string — the primitive for fooling experiments, where
     the pigeonhole forces one string to serve two graphs. *)
 val run_with_advice :
-  'o t -> Shades_graph.Port_graph.t -> advice:Shades_bits.Bitstring.t -> 'o run
+  ?on_round:(round:int -> messages:int -> unit) ->
+  'o t ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  'o run
 
 (** Asynchronous execution (seeded adversarial delays, α-synchronizer):
     same outputs and round count as {!run} — the paper's remark that the
     synchronous LOCAL process survives asynchrony via time-stamps. *)
-val run_async : ?seed:int -> 'o t -> Shades_graph.Port_graph.t -> 'o run
+val run_async :
+  ?seed:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  'o t ->
+  Shades_graph.Port_graph.t ->
+  'o run

@@ -259,14 +259,16 @@ let decode_table advice =
   done;
   { k; table }
 
-let plan_cache = ref None
+(* Domain-local single-slot cache: concurrent sweeps
+   (Shades_runtime.Pool) must not race or thrash each other's slot. *)
+let plan_cache = Domain.DLS.new_key (fun () -> None)
 
 let plan_of advice =
-  match !plan_cache with
+  match Domain.DLS.get plan_cache with
   | Some (a, p) when a == advice -> p
   | _ ->
       let p = decode_table advice in
-      plan_cache := Some (advice, p);
+      Domain.DLS.set plan_cache (Some (advice, p));
       p
 
 let cppe_scheme t =

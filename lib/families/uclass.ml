@@ -212,15 +212,16 @@ let compute_plan advice =
 
 (* The same advice value is passed to every node, so a single-slot cache
    keyed by physical equality makes the n identical map analyses cost
-   one. *)
-let plan_cache = ref None
+   one.  Domain-local so concurrent sweeps (Shades_runtime.Pool) never
+   race or thrash each other's slot. *)
+let plan_cache = Domain.DLS.new_key (fun () -> None)
 
 let plan_of advice =
-  match !plan_cache with
+  match Domain.DLS.get plan_cache with
   | Some (a, p) when a == advice -> p
   | _ ->
       let p = compute_plan advice in
-      plan_cache := Some (advice, p);
+      Domain.DLS.set plan_cache (Some (advice, p));
       p
 
 let pe_scheme =

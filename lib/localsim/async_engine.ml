@@ -6,7 +6,7 @@ module Port_graph = Shades_graph.Port_graph
    payload carries the receiver's port so delivery needs no lookup. *)
 type 'msg wire = { round : int; payload : (int * 'msg) option }
 
-let run ?max_rounds ?(seed = 0) g ~advice alg =
+let run ?max_rounds ?(seed = 0) ?on_round g ~advice alg =
   let n = Port_graph.order g in
   let max_rounds =
     match max_rounds with Some m -> m | None -> (4 * n) + 16
@@ -41,18 +41,35 @@ let run ?max_rounds ?(seed = 0) g ~advice alg =
   let inboxes : (int, 'a wire list) Hashtbl.t array =
     Array.init n (fun _ -> Hashtbl.create 4)
   in
+  (* A decided node has halted: it emits only the bare end-of-round
+     markers its neighbours' synchronizers are waiting for — never a
+     payload — mirroring the synchronous engine's short-circuit. *)
   let send_round v =
+    let halted = Option.is_some outputs.(v) in
     for p = 0 to Port_graph.degree g v - 1 do
       let u, q = Port_graph.neighbor g v p in
       let payload =
-        match alg.Engine.send states.(v) ~port:p with
-        | Some m ->
-            incr messages;
-            Some (q, m)
-        | None -> None
+        if halted then None
+        else
+          match alg.Engine.send states.(v) ~port:p with
+          | Some m ->
+              incr messages;
+              Some (q, m)
+          | None -> None
       in
       push_event u { round = rounds.(v) + 1; payload }
     done
+  in
+  (* Telemetry: report each synchronizer round the first time some node
+     completes it (the async frontier's analogue of the synchronous
+     per-round hook). *)
+  let reported = ref 0 in
+  let report_round r =
+    match on_round with
+    | Some f when r > !reported ->
+        reported := r;
+        f ~round:r ~messages:!messages
+    | _ -> ()
   in
   let all_decided () = Array.for_all Option.is_some outputs in
   if not (all_decided ()) then
@@ -74,15 +91,18 @@ let run ?max_rounds ?(seed = 0) g ~advice alg =
       match Hashtbl.find_opt inboxes.(v) next with
       | Some wires when List.length wires = Port_graph.degree g v ->
           Hashtbl.remove inboxes.(v) next;
-          let inbox =
-            List.filter_map (fun w -> w.payload) wires
-            |> List.sort (fun (p, _) (q, _) -> Int.compare p q)
-          in
-          states.(v) <- alg.Engine.step states.(v) inbox;
+          if Option.is_none outputs.(v) then begin
+            let inbox =
+              List.filter_map (fun w -> w.payload) wires
+              |> List.sort (fun (p, _) (q, _) -> Int.compare p q)
+            in
+            states.(v) <- alg.Engine.step states.(v) inbox;
+            outputs.(v) <- alg.Engine.output states.(v);
+            if Option.is_some outputs.(v) && decided_round.(v) = None then
+              decided_round.(v) <- Some next
+          end;
           rounds.(v) <- next;
-          outputs.(v) <- alg.Engine.output states.(v);
-          if Option.is_some outputs.(v) && decided_round.(v) = None then
-            decided_round.(v) <- Some next;
+          report_round next;
           if next > max_rounds || all_decided () then begin
             progressing := false;
             stop := true

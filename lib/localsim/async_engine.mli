@@ -18,10 +18,24 @@
     so runs are reproducible.  The reported [rounds] is the number of
     synchronizer rounds executed — identical to the synchronous round
     count.
+
+    [max_rounds] bounds the synchronizer rounds any node executes and
+    defaults to [4 * order g + 16], the same budget as {!Engine.run}.
+
+    Decided nodes halt exactly as in {!Engine.run}: they keep emitting
+    the bare end-of-round markers the α-synchronizer requires of every
+    port, but never a payload, and their state is frozen — so a node
+    decided at round 0 never contributes a message, matching the
+    synchronous short-circuit.
+
+    [on_round] fires the first time each synchronizer round number is
+    completed by some node (the advancing frontier), with the
+    cumulative message count at that moment.
     @raise Engine.Did_not_terminate like {!Engine.run}. *)
 val run :
   ?max_rounds:int ->
   ?seed:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   ('state, 'msg, 'output) Engine.algorithm ->

@@ -11,7 +11,7 @@ type 'output result = { outputs : 'output array; rounds : int; messages : int }
 
 exception Did_not_terminate of int
 
-let run ?max_rounds g ~advice alg =
+let run ?max_rounds ?on_round g ~advice alg =
   let n = Port_graph.order g in
   let max_rounds =
     match max_rounds with Some m -> m | None -> (4 * n) + 16
@@ -26,25 +26,33 @@ let run ?max_rounds g ~advice alg =
   while (not (all_decided ())) && !rounds < max_rounds do
     incr rounds;
     (* Collect this round's messages from every node, then deliver: the
-       two phases are separated so that delivery is truly synchronous. *)
+       two phases are separated so that delivery is truly synchronous.
+       Decided nodes have halted — they send nothing, and anything
+       addressed to them is discarded. *)
     let inboxes = Array.make n [] in
     for v = 0 to n - 1 do
-      for p = 0 to Port_graph.degree g v - 1 do
-        match alg.send states.(v) ~port:p with
-        | None -> ()
-        | Some m ->
-            incr messages;
-            let u, q = Port_graph.neighbor g v p in
-            inboxes.(u) <- (q, m) :: inboxes.(u)
-      done
+      if Option.is_none outputs.(v) then
+        for p = 0 to Port_graph.degree g v - 1 do
+          match alg.send states.(v) ~port:p with
+          | None -> ()
+          | Some m ->
+              incr messages;
+              let u, q = Port_graph.neighbor g v p in
+              inboxes.(u) <- (q, m) :: inboxes.(u)
+        done
     done;
     for v = 0 to n - 1 do
-      let inbox =
-        List.sort (fun (p, _) (q, _) -> Int.compare p q) inboxes.(v)
-      in
-      states.(v) <- alg.step states.(v) inbox;
-      outputs.(v) <- alg.output states.(v)
-    done
+      if Option.is_none outputs.(v) then begin
+        let inbox =
+          List.sort (fun (p, _) (q, _) -> Int.compare p q) inboxes.(v)
+        in
+        states.(v) <- alg.step states.(v) inbox;
+        outputs.(v) <- alg.output states.(v)
+      end
+    done;
+    match on_round with
+    | Some f -> f ~round:!rounds ~messages:!messages
+    | None -> ()
   done;
   if not (all_decided ()) then raise (Did_not_terminate !rounds);
   {

@@ -19,7 +19,12 @@ type ('state, 'msg, 'output) algorithm = {
           port order. *)
   output : 'state -> 'output option;
       (** [Some o] once the node has decided; polled after [init]
-          (round 0) and after every [step]. *)
+          (round 0) and after every [step].  A decided node has halted:
+          from the next round on it sends nothing, its [step] is never
+          called again (its state is frozen), and messages addressed to
+          it are discarded.  In particular a node decided at round 0
+          never communicates at all — the same short-circuit whether
+          some or all nodes decide at initialization. *)
 }
 
 type 'output result = {
@@ -36,9 +41,17 @@ exception Did_not_terminate of int
 
 (** [run g ~advice alg] executes [alg] at every node of [g] with the
     same [advice].  Terminates at the first round where all nodes have
-    an output.  [max_rounds] defaults to [4 * order g + 16]. *)
+    an output.  [max_rounds] bounds the number of rounds executed and
+    defaults to [4 * order g + 16] — linear in the order with slack, a
+    budget no minimum-time scheme in this repository approaches.
+
+    [on_round] is a telemetry hook: it is invoked once per executed
+    round, after delivery, with the (1-based) round number and the
+    cumulative message count — the feed for {!Shades_runtime.Metrics}
+    counters without touching the result type. *)
 val run :
   ?max_rounds:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   ('state, 'msg, 'output) algorithm ->

@@ -40,7 +40,7 @@ let algorithm ~rounds_of ~decide =
       (fun st -> if st.target = 0 then Some (decide st.view) else None);
   }
 
-let run_adaptive g ~advice ~rounds_of ~decide =
+let run_adaptive ?on_round g ~advice ~rounds_of ~decide =
   let decided = ref None in
   let rounds_of ~advice ~degree =
     let r = rounds_of ~advice ~degree in
@@ -50,12 +50,12 @@ let run_adaptive g ~advice ~rounds_of ~decide =
     r
   in
   let result =
-    Engine.run g ~advice
+    Engine.run ?on_round g ~advice
       (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
   in
   (result.Engine.outputs, result.Engine.rounds)
 
-let run_adaptive_async ?seed g ~advice ~rounds_of ~decide =
+let run_adaptive_async ?seed ?on_round g ~advice ~rounds_of ~decide =
   let decided = ref None in
   let rounds_of ~advice ~degree =
     let r = rounds_of ~advice ~degree in
@@ -65,7 +65,7 @@ let run_adaptive_async ?seed g ~advice ~rounds_of ~decide =
     r
   in
   let result =
-    Async_engine.run ?seed g ~advice
+    Async_engine.run ?seed ?on_round g ~advice
       (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
   in
   (result.Engine.outputs, result.Engine.rounds)

@@ -24,8 +24,10 @@ val run :
     advice and the node's degree before communication starts (all paper
     algorithms derive a common round count from the advice, so the
     values coincide across nodes; this is asserted). Returns decisions
-    and the common round count. *)
+    and the common round count.  [on_round] is forwarded to
+    {!Engine.run} — per-round telemetry for the sweep runtime. *)
 val run_adaptive :
+  ?on_round:(round:int -> messages:int -> unit) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
@@ -38,6 +40,7 @@ val run_adaptive :
     count coincide with the synchronous run. *)
 val run_adaptive_async :
   ?seed:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->

@@ -1,0 +1,132 @@
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_stats
+  | Timing of { count : int; total_ns : int }
+
+(* Histograms keep the raw observations (sweep points are small); stats
+   are derived at snapshot time. *)
+type instrument =
+  | ICounter of int ref
+  | IGauge of float ref
+  | IHist of float list ref
+  | ITiming of { n : int ref; total : int ref }
+
+type t = { mutex : Mutex.t; table : (string, instrument) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t name make use =
+  let i =
+    match Hashtbl.find_opt t.table name with
+    | Some i -> i
+    | None ->
+        let i = make () in
+        Hashtbl.add t.table name i;
+        i
+  in
+  use i
+
+let incr ?(by = 1) t name =
+  locked t (fun () ->
+      find t name
+        (fun () -> ICounter (ref 0))
+        (function
+          | ICounter r -> r := !r + by
+          | _ -> invalid_arg ("Metrics.incr: " ^ name ^ " is not a counter")))
+
+let set_gauge t name v =
+  locked t (fun () ->
+      find t name
+        (fun () -> IGauge (ref v))
+        (function
+          | IGauge r -> r := v
+          | _ -> invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")))
+
+let observe t name v =
+  locked t (fun () ->
+      find t name
+        (fun () -> IHist (ref []))
+        (function
+          | IHist r -> r := v :: !r
+          | _ ->
+              invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")))
+
+let add_ns t name ns =
+  locked t (fun () ->
+      find t name
+        (fun () -> ITiming { n = ref 0; total = ref 0 })
+        (function
+          | ITiming { n; total } ->
+              Stdlib.incr n;
+              total := !total + ns
+          | _ -> invalid_arg ("Metrics.add_ns: " ^ name ^ " is not a timing")))
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let time t name f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> add_ns t name (now_ns () - t0)) f
+
+(* Nearest-rank quantile: the smallest observation with at least a [q]
+   fraction of the data at or below it. *)
+let nearest_rank sorted q =
+  let count = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int count)) in
+  sorted.(max 0 (min (count - 1) (rank - 1)))
+
+let hist_stats obs =
+  let sorted = Array.of_list obs in
+  Array.sort Float.compare sorted;
+  let count = Array.length sorted in
+  {
+    count;
+    sum = Array.fold_left ( +. ) 0. sorted;
+    min = sorted.(0);
+    max = sorted.(count - 1);
+    p50 = nearest_rank sorted 0.50;
+    p90 = nearest_rank sorted 0.90;
+    p99 = nearest_rank sorted 0.99;
+  }
+
+let quantile t name q =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (IHist { contents = _ :: _ as obs }) ->
+          let sorted = Array.of_list obs in
+          Array.sort Float.compare sorted;
+          Some (nearest_rank sorted q)
+      | _ -> None)
+
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name i acc ->
+          let value =
+            match i with
+            | ICounter r -> Some (Counter !r)
+            | IGauge r -> Some (Gauge !r)
+            | IHist { contents = [] } -> None (* no observations yet *)
+            | IHist { contents = obs } -> Some (Histogram (hist_stats obs))
+            | ITiming { n; total } ->
+                Some (Timing { count = !n; total_ns = !total })
+          in
+          match value with Some v -> (name, v) :: acc | None -> acc)
+        t.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let is_timing = function Timing _ -> true | _ -> false

@@ -1,0 +1,61 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* The queue holds input indexes; results land in a slot per index, so
+   completion order (which depends on scheduling) never leaks into the
+   output.  Workers park on [nonempty] until the coordinator has pushed
+   the jobs and flipped [closed]. *)
+let map_parallel workers f inputs =
+  let n = Array.length inputs in
+  let queue = Queue.create () in
+  let mutex = Mutex.create () in
+  let nonempty = Condition.create () in
+  let closed = ref false in
+  let results = Array.make n None in
+  let rec next_job () =
+    if not (Queue.is_empty queue) then Some (Queue.pop queue)
+    else if !closed then None
+    else begin
+      Condition.wait nonempty mutex;
+      next_job ()
+    end
+  in
+  let rec worker () =
+    Mutex.lock mutex;
+    let job = next_job () in
+    Mutex.unlock mutex;
+    match job with
+    | None -> ()
+    | Some i ->
+        let r = match f inputs.(i) with v -> Ok v | exception e -> Error e in
+        Mutex.lock mutex;
+        results.(i) <- Some r;
+        Mutex.unlock mutex;
+        worker ()
+  in
+  let team = Array.init workers (fun _ -> Domain.spawn worker) in
+  Mutex.lock mutex;
+  for i = 0 to n - 1 do
+    Queue.push i queue
+  done;
+  closed := true;
+  Condition.broadcast nonempty;
+  Mutex.unlock mutex;
+  Array.iter Domain.join team;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false (* every index was queued and joined *))
+    results
+
+let map ?domains f inputs =
+  let n = Array.length inputs in
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  (* the OCaml runtime supports at most ~128 live domains *)
+  let workers = min (min domains n) 120 in
+  if workers <= 1 then Array.map f inputs else map_parallel workers f inputs
+
+let map_list ?domains f inputs =
+  Array.to_list (map ?domains f (Array.of_list inputs))

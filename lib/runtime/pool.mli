@@ -1,0 +1,30 @@
+(** Domain-based worker pool with deterministic, input-ordered results.
+
+    A fixed team of OCaml 5 domains drains a work queue (guarded by a
+    [Mutex.t]/[Condition.t] pair); each job's result is written into a
+    slot chosen by the job's input position, so the output order never
+    depends on scheduling.  Two runs of [map f jobs] with any two domain
+    counts return equal arrays whenever [f] is deterministic — the
+    property the sweep determinism tests pin down. *)
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core to
+    the coordinating domain. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?domains f jobs] applies [f] to every element of [jobs] and
+    returns the results in input order.
+
+    [domains] defaults to {!default_domains}; values [<= 1] (or a
+    single-element input) run sequentially in the calling domain — no
+    domain is spawned, which doubles as the reference execution for
+    determinism checks.  At most [Array.length jobs] domains are
+    spawned.
+
+    If one or more jobs raise, the exception of the smallest failing
+    input index is re-raised after all workers have been joined (the
+    others are discarded).  [f] must be safe to call from multiple
+    domains at once. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)

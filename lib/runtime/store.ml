@@ -1,0 +1,509 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* Shortest float rendering that round-trips; "%.17g" only when the
+     12-digit form loses precision.  Non-finite values have no JSON
+     spelling and never arise from the metrics we store. *)
+  let float_to_string f =
+    if not (Float.is_finite f) then
+      invalid_arg "Store.Json: non-finite float";
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_to_string f)
+    | String s -> escape_to buf s
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj members ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (name, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf name;
+            Buffer.add_char buf ':';
+            write buf item)
+          members;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let of_string s =
+    let pos = ref 0 in
+    let len = String.length s in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+    in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < len
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < len && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let keyword word value =
+      if
+        !pos + String.length word <= len
+        && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let utf8_of_code buf u =
+      (* enough for the BMP, which is all \uXXXX can express *)
+      if u < 0x80 then Buffer.add_char buf (Char.chr u)
+      else if u < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= len then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= len then fail "unterminated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+               if !pos + 4 > len then fail "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               let u =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> fail "bad \\u escape"
+               in
+               utf8_of_code buf u
+           | _ -> fail "unknown escape");
+          loop ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < len && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      let is_float =
+        String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
+      in
+      if is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+            (* integer syntax overflowing the native int range *)
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> parse_obj ()
+      | Some '[' -> parse_list ()
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> keyword "true" (Bool true)
+      | Some 'f' -> keyword "false" (Bool false)
+      | Some 'n' -> keyword "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | _ -> fail "value expected"
+    and parse_obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let members = ref [] in
+        let rec member () =
+          skip_ws ();
+          let name = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          members := (name, v) :: !members;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              member ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        member ();
+        Obj (List.rev !members)
+      end
+    and parse_list () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec item () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              item ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        item ();
+        List (List.rev !items)
+      end
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> len then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member name = function
+    | Obj members -> List.assoc_opt name members
+    | _ -> None
+end
+
+let schema_version = 1
+
+type record = {
+  params : (string * Json.t) list;
+  rounds : int;
+  messages : int;
+  advice_bits : int;
+  wall_ns : int;
+  metrics : (string * Metrics.value) list;
+}
+
+type t = { version : int; label : string; records : record list }
+
+let make ?(label = "sweep") records = { version = schema_version; label; records }
+
+let metric r name = List.assoc_opt name r.metrics
+
+(* --- encoding --- *)
+
+let json_of_metric = function
+  | Metrics.Counter n -> Json.Obj [ ("kind", String "counter"); ("value", Int n) ]
+  | Metrics.Gauge g -> Json.Obj [ ("kind", String "gauge"); ("value", Float g) ]
+  | Metrics.Histogram h ->
+      Json.Obj
+        [
+          ("kind", String "histogram");
+          ("count", Int h.Metrics.count);
+          ("sum", Float h.Metrics.sum);
+          ("min", Float h.Metrics.min);
+          ("max", Float h.Metrics.max);
+          ("p50", Float h.Metrics.p50);
+          ("p90", Float h.Metrics.p90);
+          ("p99", Float h.Metrics.p99);
+        ]
+  | Metrics.Timing { count; total_ns } ->
+      Json.Obj
+        [
+          ("kind", String "timing"); ("count", Int count);
+          ("total_ns", Int total_ns);
+        ]
+
+let json_of_record r =
+  Json.Obj
+    [
+      ("params", Json.Obj r.params);
+      ("rounds", Int r.rounds);
+      ("messages", Int r.messages);
+      ("advice_bits", Int r.advice_bits);
+      ("wall_ns", Int r.wall_ns);
+      ("metrics", Json.Obj (List.map (fun (n, v) -> (n, json_of_metric v)) r.metrics));
+    ]
+
+let encode t =
+  (* one record per line so diffs of the raw file stay readable *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":%d,\"label\":%s,\"records\":[" t.version
+       (Json.to_string (String t.label)));
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf (Json.to_string (json_of_record r)))
+    t.records;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let need what = function
+  | Some v -> Ok v
+  | None -> Error ("store: missing " ^ what)
+
+let as_int what = function
+  | Json.Int i -> Ok i
+  | _ -> Error ("store: " ^ what ^ " is not an integer")
+
+let as_float what = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error ("store: " ^ what ^ " is not a number")
+
+let as_string what = function
+  | Json.String s -> Ok s
+  | _ -> Error ("store: " ^ what ^ " is not a string")
+
+let int_member what j =
+  let* v = need what (Json.member what j) in
+  as_int what v
+
+let float_member what j =
+  let* v = need what (Json.member what j) in
+  as_float what v
+
+let metric_of_json name j =
+  let* kind = need "metric kind" (Json.member "kind" j) in
+  let* kind = as_string "metric kind" kind in
+  match kind with
+  | "counter" ->
+      let* v = int_member "value" j in
+      Ok (Metrics.Counter v)
+  | "gauge" ->
+      let* v = float_member "value" j in
+      Ok (Metrics.Gauge v)
+  | "histogram" ->
+      let* count = int_member "count" j in
+      let* sum = float_member "sum" j in
+      let* min = float_member "min" j in
+      let* max = float_member "max" j in
+      let* p50 = float_member "p50" j in
+      let* p90 = float_member "p90" j in
+      let* p99 = float_member "p99" j in
+      Ok (Metrics.Histogram { Metrics.count; sum; min; max; p50; p90; p99 })
+  | "timing" ->
+      let* count = int_member "count" j in
+      let* total_ns = int_member "total_ns" j in
+      Ok (Metrics.Timing { count; total_ns })
+  | k -> Error ("store: unknown metric kind " ^ name ^ ":" ^ k)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let record_of_json j =
+  let* params = need "params" (Json.member "params" j) in
+  let* params =
+    match params with
+    | Json.Obj members -> Ok members
+    | _ -> Error "store: params is not an object"
+  in
+  let* rounds = int_member "rounds" j in
+  let* messages = int_member "messages" j in
+  let* advice_bits = int_member "advice_bits" j in
+  let* wall_ns = int_member "wall_ns" j in
+  let* metrics = need "metrics" (Json.member "metrics" j) in
+  let* metrics =
+    match metrics with
+    | Json.Obj members ->
+        map_result
+          (fun (name, mj) ->
+            let* v = metric_of_json name mj in
+            Ok (name, v))
+          members
+    | _ -> Error "store: metrics is not an object"
+  in
+  Ok { params; rounds; messages; advice_bits; wall_ns; metrics }
+
+let decode text =
+  let* j = Json.of_string text in
+  let* version = int_member "schema" j in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf
+         "store: unsupported schema version %d (this build reads version %d)"
+         version schema_version)
+  else
+    let* label = need "label" (Json.member "label" j) in
+    let* label = as_string "label" label in
+    let* records = need "records" (Json.member "records" j) in
+    let* records =
+      match records with
+      | Json.List items -> map_result record_of_json items
+      | _ -> Error "store: records is not a list"
+    in
+    Ok { version; label; records }
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode t))
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> decode text
+  | exception Sys_error msg -> Error ("store: " ^ msg)
+
+(* --- comparison --- *)
+
+let strip_timing t =
+  {
+    t with
+    records =
+      List.map
+        (fun r ->
+          {
+            r with
+            wall_ns = 0;
+            metrics =
+              List.filter (fun (_, v) -> not (Metrics.is_timing v)) r.metrics;
+          })
+        t.records;
+  }
+
+let params_key params =
+  Json.to_string (Json.Obj params)
+
+let pp_params params =
+  String.concat " "
+    (List.map
+       (fun (name, v) ->
+         name ^ "="
+         ^ match v with Json.String s -> s | v -> Json.to_string v)
+       params)
+
+let diff ~baseline ~current =
+  let baseline = strip_timing baseline and current = strip_timing current in
+  let index store =
+    List.map (fun r -> (params_key r.params, r)) store.records
+  in
+  let base_idx = index baseline and cur_idx = index current in
+  let changes =
+    List.filter_map
+      (fun (key, cur) ->
+        match List.assoc_opt key base_idx with
+        | None -> Some (Printf.sprintf "added   %s" (pp_params cur.params))
+        | Some base ->
+            let fields =
+              List.filter_map
+                (fun (name, was, is) ->
+                  if was = is then None
+                  else Some (Printf.sprintf "%s %d -> %d" name was is))
+                [
+                  ("rounds", base.rounds, cur.rounds);
+                  ("messages", base.messages, cur.messages);
+                  ("advice_bits", base.advice_bits, cur.advice_bits);
+                ]
+            in
+            let fields =
+              if base.metrics = cur.metrics then fields
+              else fields @ [ "metrics changed" ]
+            in
+            if fields = [] then None
+            else
+              Some
+                (Printf.sprintf "changed %s: %s" (pp_params cur.params)
+                   (String.concat "; " fields)))
+      cur_idx
+  in
+  let removed =
+    List.filter_map
+      (fun (key, base) ->
+        if List.mem_assoc key cur_idx then None
+        else Some (Printf.sprintf "removed %s" (pp_params base.params)))
+      base_idx
+  in
+  changes @ removed

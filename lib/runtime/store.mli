@@ -1,0 +1,78 @@
+(** Schema-versioned results store for sweep runs.
+
+    One {!record} per sweep point: the point's parameters, the measured
+    rounds / messages / advice bits, the wall-clock time, and a
+    {!Metrics} snapshot.  A store serializes to JSON (hand-rolled codec
+    — no external dependency) with an explicit [schema] field; decoding
+    a file whose version differs from {!schema_version} fails, so a
+    record layout change can never be misread silently — bump the
+    version instead.
+
+    Timing fields ([wall_ns] and [Metrics.Timing] entries) are the only
+    nondeterministic content; {!strip_timing} removes them, after which
+    two encodings of the same sweep are byte-identical regardless of
+    the domain count that produced them. *)
+
+module Json : sig
+  (** Minimal JSON tree with a deterministic printer and a strict
+      parser — exactly what the store format needs, nothing more. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list  (** member order is preserved *)
+
+  val to_string : t -> string
+  (** Compact rendering; object members keep their given order, so
+      equal trees render byte-identically. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse one JSON value ([Error] carries a position message).
+      Numbers without [./e/E] decode as [Int], others as [Float]. *)
+
+  val member : string -> t -> t option
+  (** Object member lookup ([None] on absent key or non-object). *)
+end
+
+val schema_version : int
+(** Current record-layout version (bump on any layout change). *)
+
+type record = {
+  params : (string * Json.t) list;  (** the sweep point, e.g. delta/k *)
+  rounds : int;
+  messages : int;
+  advice_bits : int;
+  wall_ns : int;  (** wall-clock for the point; 0 after strip_timing *)
+  metrics : (string * Metrics.value) list;  (** name-sorted snapshot *)
+}
+
+type t = { version : int; label : string; records : record list }
+
+val make : ?label:string -> record list -> t
+(** A store at {!schema_version}. *)
+
+val metric : record -> string -> Metrics.value option
+
+val encode : t -> string
+(** Render to JSON text (one record per line, stable layout). *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; rejects any [version <> schema_version] and
+    any malformed record. *)
+
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+val strip_timing : t -> t
+(** Zero every [wall_ns] and drop every [Metrics.Timing] entry — the
+    canonical form for cross-run and cross-domain-count comparison. *)
+
+val diff : baseline:t -> current:t -> string list
+(** Human-readable lines describing every sweep point whose
+    non-timing measurements changed between two stores (records are
+    matched by [params]); includes points present on one side only.
+    Empty means the runs agree. *)

@@ -1,0 +1,143 @@
+module Port_graph = Shades_graph.Port_graph
+module Scheme = Shades_election.Scheme
+module Verify = Shades_election.Verify
+module Select_by_view = Shades_election.Select_by_view
+module Gclass = Shades_families.Gclass
+module Uclass = Shades_families.Uclass
+
+type point = (string * int) list
+
+type axis = { name : string; values : int list }
+
+let axis name values = { name; values }
+
+let range ?(step = 1) name ~lo ~hi =
+  if step <= 0 then invalid_arg "Sweep.range: step must be positive";
+  let rec collect v = if v > hi then [] else v :: collect (v + step) in
+  { name; values = collect lo }
+
+let cross axes =
+  List.fold_right
+    (fun { name; values } tails ->
+      List.concat_map
+        (fun v -> List.map (fun tail -> (name, v) :: tail) tails)
+        values)
+    axes [ [] ]
+
+type outcome = {
+  rounds : int;
+  messages : int;
+  advice_bits : int;
+  graph_order : int;
+  verified : bool;
+}
+
+type job = { family : string; params : point; exec : Metrics.t -> outcome }
+
+let value point name = List.assoc_opt name point
+
+let with_default point name default =
+  match value point name with
+  | Some _ -> point
+  | None -> point @ [ (name, default) ]
+
+(* Run [scheme] on [g] through the simulator, collecting the engine's
+   per-round telemetry into [metrics]. *)
+let elect metrics scheme verify g =
+  let messages = ref 0 in
+  let on_round ~round:_ ~messages:m =
+    messages := m;
+    Metrics.incr metrics "engine_rounds"
+  in
+  let r = Metrics.time metrics "elect" (fun () -> Scheme.run ~on_round scheme g) in
+  let verified =
+    Metrics.time metrics "verify" (fun () ->
+        Result.is_ok (verify g r.Scheme.outputs))
+  in
+  {
+    rounds = r.Scheme.rounds;
+    messages = !messages;
+    advice_bits = r.Scheme.advice_bits;
+    graph_order = Port_graph.order g;
+    verified;
+  }
+
+let gclass_job point =
+  match (value point "delta", value point "k") with
+  | Some delta, Some k when delta >= 3 && k >= 1 ->
+      let point = with_default point "i" 2 in
+      let i = Option.get (value point "i") in
+      let p = { Gclass.delta; k } in
+      let within_class =
+        i >= 1
+        &&
+        match Gclass.num_graphs p with Some c -> i <= c | None -> true
+      in
+      if not within_class then None
+      else
+        Some
+          {
+            family = "g";
+            params = point;
+            exec =
+              (fun metrics ->
+                let t = Metrics.time metrics "build" (fun () -> Gclass.build p ~i) in
+                elect metrics Select_by_view.scheme Verify.selection
+                  t.Gclass.graph);
+          }
+  | _ -> None
+
+let uclass_job point =
+  match (value point "delta", value point "k") with
+  | Some delta, Some k when delta >= 4 && k >= 1 ->
+      let point = with_default point "sigma" 1 in
+      let sigma = Option.get (value point "sigma") in
+      let p = { Uclass.delta; k } in
+      (* y trees ≈ n/4 nodes each of size Θ(∆k): refuse instances that
+         could not be built in memory (u(4,2)'s 19683 trees / 86k nodes
+         is the largest instance the repo exercises) *)
+      let buildable =
+        match Uclass.num_trees p with
+        | Some y -> y <= 50_000
+        | None -> false
+      in
+      if sigma < 1 || sigma > delta - 1 || not buildable then None
+      else
+        Some
+          {
+            family = "u";
+            params = point;
+            exec =
+              (fun metrics ->
+                let t =
+                  Metrics.time metrics "build" (fun () ->
+                      Uclass.build p ~sigma:(Uclass.uniform_sigma p sigma))
+                in
+                elect metrics Uclass.pe_scheme Verify.port_election
+                  t.Uclass.graph);
+          }
+  | _ -> None
+
+let gclass_jobs points = List.filter_map gclass_job points
+let uclass_jobs points = List.filter_map uclass_job points
+
+let record_of_job job =
+  let metrics = Metrics.create () in
+  let t0 = Metrics.now_ns () in
+  let outcome = job.exec metrics in
+  let wall_ns = Metrics.now_ns () - t0 in
+  Metrics.incr ~by:outcome.graph_order metrics "graph_order";
+  Metrics.incr ~by:(if outcome.verified then 1 else 0) metrics "verified";
+  Metrics.incr ~by:outcome.messages metrics "engine_messages";
+  {
+    Store.params =
+      ("family", Store.Json.String job.family)
+      :: List.map (fun (n, v) -> (n, Store.Json.Int v)) job.params;
+    rounds = outcome.rounds;
+    messages = outcome.messages;
+    advice_bits = outcome.advice_bits;
+    wall_ns;
+    metrics = Metrics.snapshot metrics;
+  }
+
+let run ?domains jobs = Pool.map_list ?domains record_of_job jobs

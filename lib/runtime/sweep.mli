@@ -1,0 +1,67 @@
+(** Grid sweeps: compose the paper's graph families with their election
+    schemes into job lists for {!Pool}, producing {!Store} records.
+
+    A sweep point is a named integer assignment (e.g.
+    [delta=4 k=1 i=2]); {!range} and {!cross} build grids of points;
+    the [*_jobs] builders turn points into runnable jobs — each job
+    builds its family instance, runs the minimum-time scheme through
+    the LOCAL simulator (with {!Metrics} telemetry fed by the engine's
+    [on_round] hook), and verifies the outputs with the referee-grade
+    checker.  {!run} fans the jobs across domains and returns records
+    in grid order, independent of the domain count. *)
+
+type point = (string * int) list
+(** One sweep point: parameter name → value, in axis order. *)
+
+type axis
+
+val axis : string -> int list -> axis
+(** An explicit list of values. *)
+
+val range : ?step:int -> string -> lo:int -> hi:int -> axis
+(** Inclusive integer range, [step] (default 1) must be positive. *)
+
+val cross : axis list -> point list
+(** Cartesian product, row-major: the last axis varies fastest.  The
+    result order is the record order of {!run}. *)
+
+type outcome = {
+  rounds : int;
+  messages : int;  (** from the engine's [on_round] telemetry *)
+  advice_bits : int;
+  graph_order : int;
+  verified : bool;  (** the task verifier accepted the outputs *)
+}
+
+type job = {
+  family : string;  (** "g" or "u" — recorded as the [family] param *)
+  params : point;
+  exec : Metrics.t -> outcome;
+}
+
+val gclass_job : point -> job option
+(** Selection (Theorem 2.2 scheme) on [G_i] of [G_{∆,k}].  Point keys:
+    [delta] (≥ 3), [k] (≥ 1), optional [i] (default 2 — the smallest
+    index with all lemma guarantees).  [None] if the point is outside
+    the class (e.g. [i] exceeds the class size). *)
+
+val uclass_job : point -> job option
+(** Port Election (Lemma 3.9 scheme) on [G_σ] of [U_{∆,k}] with
+    uniform σ.  Point keys: [delta] (≥ 4), [k] (≥ 1), optional [sigma]
+    (default 1, must be in [1..∆−1]).  [None] outside the class, and
+    also for instances with more than 50 000 trees (|U| grows doubly
+    exponentially; those graphs cannot be built in memory). *)
+
+val gclass_jobs : point list -> job list
+val uclass_jobs : point list -> job list
+(** Valid jobs for every point of a grid, in grid order (invalid
+    points are dropped). *)
+
+val run : ?domains:int -> job list -> Store.record list
+(** Execute the jobs on a {!Pool} ([domains] as in {!Pool.map}) and
+    return one record per job, in job-list order.  Each job gets a
+    fresh {!Metrics} registry; its snapshot, the measured
+    rounds/messages/advice bits, [graph_order] and [verified] counters,
+    and the job wall-time land in the record.  Records are identical
+    across domain counts except for timing fields
+    ({!Store.strip_timing}). *)

@@ -60,7 +60,10 @@ let test_advice_delivered () =
 
 (* Flooding: each node outputs the round at which it first heard from a
    degree-1 node (leaves output 0).  On a path, that is the distance to
-   the nearest endpoint — exercises real message propagation. *)
+   the nearest endpoint — exercises real message propagation.  A node
+   announces for one round and only then decides: a decided node has
+   halted (it sends nothing), so the announcement must precede the
+   output. *)
 let flooding =
   let send st ~port:_ =
     match st with `Heard (_, true) -> Some () | _ -> None
@@ -77,7 +80,8 @@ let flooding =
         | `Waiting r ->
             if inbox <> [] then `Heard (r + 1, true) else `Waiting (r + 1));
     output =
-      (fun st -> match st with `Heard (r, _) -> Some r | `Waiting _ -> None);
+      (fun st ->
+        match st with `Heard (r, false) -> Some r | _ -> None);
   }
 
 let test_flooding_distances () =
@@ -85,6 +89,86 @@ let test_flooding_distances () =
   let result = Engine.run g ~advice:no_advice flooding in
   Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 2; 1; 0 |]
     result.Engine.outputs
+
+(* Decided nodes halt: a node whose output is [Some _] at round 0 must
+   never send or step, even while other nodes are still running — the
+   same short-circuit as when all nodes decide at round 0.  The
+   spammer's send would emit on every port every round; with the
+   short-circuit, the only traffic is the middle node's own. *)
+let spam_if_alive rounds_for_interior =
+  {
+    Engine.init =
+      (fun ~degree ~advice:_ ->
+        if degree = 1 then `Done 0 else `Counting (rounds_for_interior, 0));
+    send = (fun _ ~port:_ -> Some ());
+    step =
+      (fun st inbox ->
+        match st with
+        | `Done _ -> st
+        | `Counting (left, heard) ->
+            `Counting (left - 1, heard + List.length inbox));
+    output =
+      (fun st ->
+        match st with
+        | `Done h -> Some h
+        | `Counting (left, heard) -> if left <= 0 then Some heard else None);
+  }
+
+let test_round0_decided_halt () =
+  let g = Gen.path 3 in
+  let result = Engine.run g ~advice:no_advice (spam_if_alive 2) in
+  (* ends decided at round 0: heard nothing, sent nothing; the middle
+     node's 2 ports * 2 rounds are the only messages *)
+  Alcotest.(check (array int)) "no spam received" [| 0; 0; 0 |]
+    result.Engine.outputs;
+  Alcotest.(check int) "only the live node sent" 4 result.Engine.messages
+
+let test_async_round0_decided_halt () =
+  let g = Gen.path 3 in
+  List.iter
+    (fun seed ->
+      let result = Async_engine.run ~seed g ~advice:no_advice (spam_if_alive 2) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "no spam received (seed %d)" seed)
+        [| 0; 0; 0 |] result.Engine.outputs;
+      Alcotest.(check int)
+        (Printf.sprintf "only the live node sent (seed %d)" seed)
+        4 result.Engine.messages)
+    [ 0; 1; 9 ]
+
+let test_on_round_hook () =
+  let g = Gen.oriented_ring 5 in
+  let seen = ref [] in
+  let result =
+    Engine.run
+      ~on_round:(fun ~round ~messages -> seen := (round, messages) :: !seen)
+      g ~advice:no_advice (countdown 3)
+  in
+  Alcotest.(check (list (pair int int)))
+    "hook saw every round with cumulative messages"
+    [ (1, 10); (2, 20); (3, 30) ]
+    (List.rev !seen);
+  Alcotest.(check int) "hook total = result total" result.Engine.messages 30
+
+let test_async_on_round_hook () =
+  let g = Gen.oriented_ring 5 in
+  let rounds_seen = ref [] in
+  let result =
+    Async_engine.run
+      ~on_round:(fun ~round ~messages:_ -> rounds_seen := round :: !rounds_seen)
+      g ~advice:no_advice (countdown 3)
+  in
+  Alcotest.(check int) "rounds" 3 result.Engine.rounds;
+  (* the frontier may overshoot the decision round by a little (early
+     finishers keep emitting markers), but each round is reported once,
+     in increasing order, and rounds 1..3 all appear *)
+  let seen = List.rev !rounds_seen in
+  Alcotest.(check bool)
+    "reported once each, increasing" true
+    (List.sort_uniq compare seen = seen);
+  Alcotest.(check bool)
+    "rounds 1..3 all reported" true
+    (List.for_all (fun r -> List.mem r seen) [ 1; 2; 3 ])
 
 (* The full-information protocol must reconstruct exactly B^r. *)
 
@@ -220,6 +304,9 @@ let () =
           Alcotest.test_case "nontermination" `Quick test_nontermination;
           Alcotest.test_case "advice" `Quick test_advice_delivered;
           Alcotest.test_case "flooding" `Quick test_flooding_distances;
+          Alcotest.test_case "round-0 deciders halt" `Quick
+            test_round0_decided_halt;
+          Alcotest.test_case "on_round hook" `Quick test_on_round_hook;
         ] );
       ( "full_info",
         List.map QCheck_alcotest.to_alcotest
@@ -228,6 +315,9 @@ let () =
         Alcotest.test_case "flooding" `Quick test_async_flooding
         :: Alcotest.test_case "zero rounds" `Quick test_async_zero_rounds
         :: Alcotest.test_case "nontermination" `Quick test_async_nontermination
+        :: Alcotest.test_case "round-0 deciders halt" `Quick
+             test_async_round0_decided_halt
+        :: Alcotest.test_case "on_round hook" `Quick test_async_on_round_hook
         :: List.map QCheck_alcotest.to_alcotest
              [ prop_async_equals_sync; prop_async_full_info ] );
     ]

@@ -1,0 +1,326 @@
+(* Tests for the parallel sweep runtime: pool determinism, metrics,
+   the versioned store codec, and byte-identical sweeps across domain
+   counts. *)
+
+open Shades_runtime
+
+(* --- Pool --- *)
+
+(* A deliberately uneven pure job so a racy pool would misorder. *)
+let job x =
+  let rec burn acc = function 0 -> acc | n -> burn ((acc * 31) + n) (n - 1) in
+  burn x (1000 + (x mod 7 * 500))
+
+let test_pool_order () =
+  let inputs = Array.init 50 (fun i -> i) in
+  let sequential = Array.map job inputs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "%d domains = sequential, input order" domains)
+        sequential
+        (Pool.map ~domains job inputs))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_edge_cases () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~domains:4 job [||]);
+  Alcotest.(check (array int)) "singleton" [| job 3 |]
+    (Pool.map ~domains:4 job [| 3 |]);
+  Alcotest.(check (list int)) "list wrapper" [ job 1; job 2 ]
+    (Pool.map_list ~domains:2 job [ 1; 2 ])
+
+let test_pool_exception () =
+  Alcotest.check_raises "first failing index wins" (Failure "boom-2")
+    (fun () ->
+      ignore
+        (Pool.map ~domains:4
+           (fun x ->
+             if x >= 2 then failwith (Printf.sprintf "boom-%d" x) else x)
+           (Array.init 10 (fun i -> i))))
+
+(* --- Metrics --- *)
+
+let test_metrics_quantiles () =
+  let m = Metrics.create () in
+  (* 1..100 inserted out of order: quantiles must not depend on
+     insertion order *)
+  List.iter
+    (fun v -> Metrics.observe m "latency" (float_of_int v))
+    (List.init 100 (fun i -> ((i * 37) mod 100) + 1));
+  let q p = Option.get (Metrics.quantile m "latency" p) in
+  Alcotest.(check (float 0.0)) "p50" 50.0 (q 0.50);
+  Alcotest.(check (float 0.0)) "p90" 90.0 (q 0.90);
+  Alcotest.(check (float 0.0)) "p99" 99.0 (q 0.99);
+  Alcotest.(check (float 0.0)) "p100" 100.0 (q 1.0);
+  Alcotest.(check (float 0.0)) "p0+" 1.0 (q 0.001);
+  match List.assoc "latency" (Metrics.snapshot m) with
+  | Metrics.Histogram h ->
+      Alcotest.(check int) "count" 100 h.Metrics.count;
+      Alcotest.(check (float 0.0)) "sum" 5050.0 h.Metrics.sum;
+      Alcotest.(check (float 0.0)) "min" 1.0 h.Metrics.min;
+      Alcotest.(check (float 0.0)) "max" 100.0 h.Metrics.max;
+      Alcotest.(check (float 0.0)) "snapshot p90" 90.0 h.Metrics.p90
+  | _ -> Alcotest.fail "latency is not a histogram"
+
+let test_metrics_kinds () =
+  let m = Metrics.create () in
+  Metrics.incr m "jobs";
+  Metrics.incr ~by:4 m "jobs";
+  Metrics.set_gauge m "load" 0.5;
+  Metrics.set_gauge m "load" 0.75;
+  Metrics.add_ns m "wall" 1000;
+  Metrics.add_ns m "wall" 500;
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "snapshot size" 3 (List.length snap);
+  Alcotest.(check bool) "name-sorted" true
+    (List.sort compare (List.map fst snap) = List.map fst snap);
+  (match List.assoc "jobs" snap with
+  | Metrics.Counter 5 -> ()
+  | _ -> Alcotest.fail "counter");
+  (match List.assoc "load" snap with
+  | Metrics.Gauge g -> Alcotest.(check (float 0.0)) "gauge last-write" 0.75 g
+  | _ -> Alcotest.fail "gauge");
+  match List.assoc "wall" snap with
+  | Metrics.Timing { count = 2; total_ns = 1500 } -> ()
+  | _ -> Alcotest.fail "timing"
+
+(* --- Store --- *)
+
+let sample_store =
+  let r1 =
+    {
+      Store.params =
+        [
+          ("family", Store.Json.String "g"); ("delta", Store.Json.Int 4);
+          ("k", Store.Json.Int 1);
+        ];
+      rounds = 1;
+      messages = 118;
+      advice_bits = 32;
+      wall_ns = 123456;
+      metrics =
+        [
+          ("elect", Metrics.Timing { count = 1; total_ns = 99000 });
+          ("engine_rounds", Metrics.Counter 1);
+          ( "latency",
+            Metrics.Histogram
+              {
+                Metrics.count = 3;
+                sum = 6.5;
+                min = 0.5;
+                max = 4.0;
+                p50 = 2.0;
+                p90 = 4.0;
+                p99 = 4.0;
+              } );
+          ("load", Metrics.Gauge 0.75);
+        ];
+    }
+  in
+  let r2 =
+    {
+      Store.params = [ ("weird \"name\"\n", Store.Json.Null) ];
+      rounds = 0;
+      messages = 0;
+      advice_bits = 0;
+      wall_ns = 0;
+      metrics = [];
+    }
+  in
+  Store.make ~label:"unit λ test" [ r1; r2 ]
+
+let test_store_roundtrip () =
+  let encoded = Store.encode sample_store in
+  match Store.decode encoded with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok decoded ->
+      Alcotest.(check bool) "round-trip equal" true (decoded = sample_store);
+      Alcotest.(check string) "re-encode byte-identical" encoded
+        (Store.encode decoded)
+
+let test_store_rejects_bumped_version () =
+  let bumped =
+    { sample_store with Store.version = Store.schema_version + 1 }
+  in
+  match Store.decode (Store.encode bumped) with
+  | Ok _ -> Alcotest.fail "bumped schema version must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error names the version" true
+        (String.length e > 0
+        && String.exists (fun c -> c = Char.chr (Char.code '0' + Store.schema_version + 1)) e)
+
+let test_store_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Store.decode text with
+      | Ok _ -> Alcotest.fail ("accepted garbage: " ^ text)
+      | Error _ -> ())
+    [
+      ""; "{"; "[1,2"; "{\"schema\":1}"; "{\"schema\":1,\"label\":3,\"records\":[]}";
+      "{\"schema\":1,\"label\":\"x\",\"records\":[{\"params\":{}}]}";
+      "{\"schema\":1,\"label\":\"x\",\"records\":[]}trailing";
+    ]
+
+let test_json_values () =
+  let j =
+    Store.Json.Obj
+      [
+        ("i", Store.Json.Int (-42)); ("f", Store.Json.Float 2.5);
+        ("s", Store.Json.String "a\"b\\c\nd");
+        ("l", Store.Json.List [ Store.Json.Bool true; Store.Json.Null ]);
+        ("nested", Store.Json.Obj [ ("x", Store.Json.Int 1) ]);
+      ]
+  in
+  match Store.Json.of_string (Store.Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "json round-trip" true (j = j')
+  | Error e -> Alcotest.fail e
+
+let test_store_diff () =
+  let current =
+    {
+      sample_store with
+      Store.records =
+        List.map
+          (fun r ->
+            if r.Store.rounds = 1 then { r with Store.rounds = 2 } else r)
+          sample_store.Store.records;
+    }
+  in
+  (match Store.diff ~baseline:sample_store ~current:sample_store with
+  | [] -> ()
+  | lines -> Alcotest.fail ("self-diff not empty: " ^ String.concat "; " lines));
+  match Store.diff ~baseline:sample_store ~current with
+  | [ line ] ->
+      Alcotest.(check bool) "names the changed field" true
+        (String.length line >= 6
+        && String.sub line 0 7 = "changed")
+  | lines ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one diff line, got %d"
+           (List.length lines))
+
+(* --- Sweep --- *)
+
+let test_cross_order () =
+  let points =
+    Sweep.cross
+      [ Sweep.range "a" ~lo:1 ~hi:2; Sweep.axis "b" [ 10; 20 ] ]
+  in
+  Alcotest.(check int) "grid size" 4 (List.length points);
+  Alcotest.(check bool) "row-major, last axis fastest" true
+    (points
+    = [
+        [ ("a", 1); ("b", 10) ]; [ ("a", 1); ("b", 20) ];
+        [ ("a", 2); ("b", 10) ]; [ ("a", 2); ("b", 20) ];
+      ])
+
+let test_sweep_filters_invalid () =
+  (* delta=3 G-class has only 2 graphs: i=5 is outside; U needs
+     delta >= 4; oversized U instances are refused *)
+  Alcotest.(check bool) "g: i out of class" true
+    (Sweep.gclass_job [ ("delta", 3); ("k", 1); ("i", 5) ] = None);
+  Alcotest.(check bool) "u: delta too small" true
+    (Sweep.uclass_job [ ("delta", 3); ("k", 1) ] = None);
+  Alcotest.(check bool) "u: unbuildably large" true
+    (Sweep.uclass_job [ ("delta", 5); ("k", 2) ] = None);
+  Alcotest.(check int) "valid points survive" 2
+    (List.length
+       (Sweep.gclass_jobs
+          [
+            [ ("delta", 3); ("k", 1); ("i", 5) ]; [ ("delta", 3); ("k", 1) ];
+            [ ("delta", 4); ("k", 1) ];
+          ]))
+
+(* A 50-point grid over both families: the pool must return the exact
+   sequential records, in grid order, for every domain count — and the
+   encoded stores must be byte-identical once timing is stripped. *)
+let determinism_jobs () =
+  let g_jobs =
+    Sweep.gclass_jobs
+      (Sweep.cross
+         [
+           Sweep.range "delta" ~lo:3 ~hi:6; Sweep.range "k" ~lo:1 ~hi:2;
+           Sweep.axis "i" [ 2; 3; 4 ];
+         ])
+  in
+  let u_jobs =
+    Sweep.uclass_jobs
+      (Sweep.cross
+         [ Sweep.range "delta" ~lo:4 ~hi:4; Sweep.range "k" ~lo:1 ~hi:1;
+           Sweep.axis "sigma" [ 1; 2; 3 ] ])
+  in
+  g_jobs @ u_jobs
+
+let test_sweep_grid_size () =
+  (* 4 deltas * 2 ks * 3 is = 24 minus the two out-of-class points of
+     G_{3,1} (only 2 graphs, i=3 and i=4 invalid) = 22, plus 3 U points:
+     a 25-job grid, 50 timed stages (build+elect per job) *)
+  Alcotest.(check int) "grid size" 25 (List.length (determinism_jobs ()))
+
+let canonical store = Store.encode (Store.strip_timing store)
+
+let test_sweep_deterministic_across_domains () =
+  let baseline = canonical (Store.make (Sweep.run ~domains:1 (determinism_jobs ()))) in
+  List.iter
+    (fun domains ->
+      let got =
+        canonical (Store.make (Sweep.run ~domains (determinism_jobs ())))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%d domains byte-identical to 1 domain" domains)
+        baseline got)
+    [ 2; 5 ]
+
+let test_sweep_records_verified () =
+  let records = Sweep.run ~domains:2 (determinism_jobs ()) in
+  List.iter
+    (fun r ->
+      (match Store.metric r "verified" with
+      | Some (Metrics.Counter 1) -> ()
+      | _ -> Alcotest.fail "a sweep point failed verification");
+      Alcotest.(check bool) "messages measured" true (r.Store.messages > 0);
+      match Store.metric r "engine_rounds" with
+      | Some (Metrics.Counter c) -> Alcotest.(check int) "hook rounds" r.Store.rounds c
+      | _ -> Alcotest.fail "engine_rounds counter missing")
+    records
+
+let () =
+  Alcotest.run "shades_runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "input order, any domain count" `Quick
+            test_pool_order;
+          Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "quantiles on known data" `Quick
+            test_metrics_quantiles;
+          Alcotest.test_case "counter/gauge/timing kinds" `Quick
+            test_metrics_kinds;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "record round-trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "rejects bumped schema" `Quick
+            test_store_rejects_bumped_version;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_store_rejects_garbage;
+          Alcotest.test_case "json value round-trip" `Quick test_json_values;
+          Alcotest.test_case "diff" `Quick test_store_diff;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "cross order" `Quick test_cross_order;
+          Alcotest.test_case "invalid points filtered" `Quick
+            test_sweep_filters_invalid;
+          Alcotest.test_case "grid size" `Quick test_sweep_grid_size;
+          Alcotest.test_case "deterministic across domains" `Slow
+            test_sweep_deterministic_across_domains;
+          Alcotest.test_case "records verified + telemetry" `Slow
+            test_sweep_records_verified;
+        ] );
+    ]
