@@ -1,6 +1,10 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all check build test smoke sweep bench clean
+# Where the smoke sweep writes its store.  CI overrides this to a
+# workspace path so the store can be uploaded as an artifact on failure.
+SMOKE_OUT ?= /tmp/shades_smoke_sweep.json
+
+.PHONY: all check build test smoke sweep bless bench clean
 
 all: check
 
@@ -10,19 +14,30 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: full build, full test suite, and a smoke sweep
-# through the parallel runtime (writes /tmp/shades_smoke_sweep.json).
+# The tier-1 gate: full build, full test suite, and the tiny-grid smoke
+# sweep compared --strict against the committed sharded baseline
+# (BENCH_tiny/) — any changed rounds/messages/advice, or any grid-shape
+# change, exits nonzero.  Intentional changes go through `make bless`.
 check:
 	dune build @all
 	dune runtest
-	dune exec bin/shades_cli.exe -- sweep --tiny -o /tmp/shades_smoke_sweep.json
+	@mkdir -p $(dir $(SMOKE_OUT))
+	dune exec bin/shades_cli.exe -- sweep --tiny -o $(SMOKE_OUT) \
+	    --compare BENCH_tiny --strict
 
 smoke:
-	dune exec bin/shades_cli.exe -- sweep --tiny -o /tmp/shades_smoke_sweep.json
+	@mkdir -p $(dir $(SMOKE_OUT))
+	dune exec bin/shades_cli.exe -- sweep --tiny -o $(SMOKE_OUT)
 
-# Regenerate the committed sweep baseline.
+# Regenerate the committed full sweep baseline (sharded).
 sweep:
-	dune exec bin/shades_cli.exe -- sweep --family both -o BENCH_sweep.json
+	dune exec bin/shades_cli.exe -- sweep --family both --sharded -o BENCH_sweep
+
+# The explicit policy for intentionally changed numbers: regenerate both
+# committed baselines (the full sweep and the tiny CI gate), then commit
+# the new shards + manifests alongside the change that moved them.
+bless: sweep
+	dune exec bin/shades_cli.exe -- sweep --tiny --sharded -o BENCH_tiny
 
 bench:
 	dune exec bench/main.exe

@@ -260,43 +260,45 @@ let labelings_cmd =
 
 let sweep_cmd =
   let open Shades_runtime in
-  let run family delta_lo delta_hi k_lo k_hi sigmas is domains out tiny
-      compare_with =
+  let run family delta_lo delta_hi k_lo k_hi sigmas is domains out sharded
+      tiny compare_with strict =
     let domains =
       match domains with Some d -> d | None -> Pool.default_domains ()
     in
-    (* --tiny: the smallest honest grid — the CI smoke test *)
-    let family, delta_lo, delta_hi, k_lo, k_hi, sigmas, is =
-      if tiny then ("g", 3, 4, 1, 1, [ 1 ], [ 2 ]) else
-        (family, delta_lo, delta_hi, k_lo, k_hi, sigmas, is)
-    in
-    let delta = Sweep.range "delta" ~lo:delta_lo ~hi:delta_hi in
-    let k = Sweep.range "k" ~lo:k_lo ~hi:k_hi in
-    let g_jobs () =
-      Sweep.gclass_jobs (Sweep.cross [ delta; k; Sweep.axis "i" is ])
-    in
-    let u_jobs () =
-      Sweep.uclass_jobs (Sweep.cross [ delta; k; Sweep.axis "sigma" sigmas ])
-    in
-    let jobs =
-      match family with
-      | "g" -> g_jobs ()
-      | "u" -> u_jobs ()
-      | "both" -> g_jobs () @ u_jobs ()
-      | f -> failwith ("unknown family: " ^ f ^ " (expected g, u or both)")
+    let jobs, label =
+      if tiny then
+        (* the smallest honest grid — the CI smoke test and the grid
+           `make check` gates against the committed baseline *)
+        (Sweep.tiny_jobs (), "tiny grid")
+      else begin
+        let delta = Sweep.range "delta" ~lo:delta_lo ~hi:delta_hi in
+        let k = Sweep.range "k" ~lo:k_lo ~hi:k_hi in
+        let g_jobs () =
+          Sweep.gclass_jobs (Sweep.cross [ delta; k; Sweep.axis "i" is ])
+        in
+        let u_jobs () =
+          Sweep.uclass_jobs
+            (Sweep.cross [ delta; k; Sweep.axis "sigma" sigmas ])
+        in
+        let jobs =
+          match family with
+          | "g" -> g_jobs ()
+          | "u" -> u_jobs ()
+          | "both" -> g_jobs () @ u_jobs ()
+          | f -> failwith ("unknown family: " ^ f ^ " (expected g, u or both)")
+        in
+        ( jobs,
+          Printf.sprintf "family=%s delta=%d..%d k=%d..%d" family delta_lo
+            delta_hi k_lo k_hi )
+      end
     in
     if jobs = [] then failwith "sweep: empty grid (all points invalid)";
     let t0 = Unix.gettimeofday () in
     let records = Sweep.run ~domains jobs in
     let dt = Unix.gettimeofday () -. t0 in
-    let store =
-      Store.make
-        ~label:
-          (Printf.sprintf "family=%s delta=%d..%d k=%d..%d" family delta_lo
-             delta_hi k_lo k_hi)
-        records
-    in
-    Store.save ~path:out store;
+    let store = Store.make ~label records in
+    if sharded then ignore (Store.Sharded.save ~dir:out store)
+    else Store.save ~path:out store;
     Printf.printf "%-28s %8s %7s %10s %12s %10s %9s\n" "point" "n" "rounds"
       "messages" "advice bits" "verified" "wall";
     List.iter
@@ -321,20 +323,10 @@ let sweep_cmd =
           (if counter "verified" = 1 then "ok" else "FAILED")
           (float_of_int r.Store.wall_ns /. 1e9))
       records;
-    Printf.printf "wrote %s: %d records, %.2fs wall, %d domain%s\n" out
+    Printf.printf "wrote %s%s: %d records, %.2fs wall, %d domain%s\n" out
+      (if sharded then " (sharded)" else "")
       (List.length records) dt domains
       (if domains = 1 then "" else "s");
-    (match compare_with with
-    | None -> ()
-    | Some path -> (
-        match Store.load ~path with
-        | Error e -> failwith ("cannot load baseline " ^ path ^ ": " ^ e)
-        | Ok baseline -> (
-            match Store.diff ~baseline ~current:store with
-            | [] -> Printf.printf "no drift against %s\n" path
-            | lines ->
-                Printf.printf "drift against %s:\n" path;
-                List.iter (fun l -> Printf.printf "  %s\n" l) lines)));
     if
       List.exists
         (fun r ->
@@ -342,7 +334,49 @@ let sweep_cmd =
           | Some (Metrics.Counter 1) -> false
           | _ -> true)
         records
-    then failwith "sweep: some runs failed verification"
+    then failwith "sweep: some runs failed verification";
+    match compare_with with
+    | None -> ()
+    | Some path -> (
+        let changes =
+          if Sys.file_exists path && Sys.is_directory path then
+            match Store.Sharded.diff ~baseline_dir:path store with
+            | Error e -> failwith ("cannot load baseline " ^ path ^ ": " ^ e)
+            | Ok changes -> changes
+          else
+            match Store.load ~path with
+            | Error e -> failwith ("cannot load baseline " ^ path ^ ": " ^ e)
+            | Ok baseline ->
+                List.map
+                  (fun c -> ("", c))
+                  (Store.diff_changes ~baseline ~current:store)
+        in
+        match changes with
+        | [] -> Printf.printf "no drift against %s\n" path
+        | changes ->
+            Printf.printf "drift against %s:\n" path;
+            List.iter
+              (fun (shard, c) ->
+                Printf.printf "  %s%s\n"
+                  (if shard = "" then "" else "[" ^ shard ^ "] ")
+                  (Store.pp_change c))
+              changes;
+            let n_changed =
+              List.length
+                (List.filter (fun (_, c) -> Store.is_changed c) changes)
+            in
+            (* changed measurements always fail; under --strict any
+               drift — including grid-shape changes — fails *)
+            if strict || n_changed > 0 then begin
+              Printf.eprintf
+                "sweep: FAILED, %d drifting point%s (%d with changed \
+                 measurements) against %s%s\n"
+                (List.length changes)
+                (if List.length changes = 1 then "" else "s")
+                n_changed path
+                (if strict then " [strict]" else "");
+              exit 1
+            end)
   in
   let family_arg =
     Arg.(
@@ -383,6 +417,14 @@ let sweep_cmd =
       value & opt string "BENCH_sweep.json"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Results file to write.")
   in
+  let sharded_arg =
+    Arg.(
+      value & flag
+      & info [ "sharded" ]
+          ~doc:"Write a sharded store: treat $(b,--output) as a directory \
+                holding one shard file per (family, delta) slice plus a \
+                digest manifest.")
+  in
   let tiny_arg =
     Arg.(
       value & flag
@@ -393,9 +435,19 @@ let sweep_cmd =
   let compare_arg =
     Arg.(
       value & opt (some string) None
-      & info [ "compare" ] ~docv:"FILE"
+      & info [ "compare" ] ~docv:"PATH"
           ~doc:"Diff the results against a previously saved store (timing \
-                fields ignored).")
+                fields ignored): a single-file store, or a sharded store \
+                directory — then unchanged shards are skipped by digest. \
+                Changed measurements exit nonzero.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"With $(b,--compare): exit nonzero on any drift at all, \
+                including added or removed sweep points (grid-shape \
+                changes), not just changed measurements.")
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -404,7 +456,8 @@ let sweep_cmd =
           write a schema-versioned results store.")
     Term.(
       const run $ family_arg $ delta_lo $ delta_hi $ k_lo $ k_hi $ sigmas_arg
-      $ is_arg $ domains_arg $ out_arg $ tiny_arg $ compare_arg)
+      $ is_arg $ domains_arg $ out_arg $ sharded_arg $ tiny_arg $ compare_arg
+      $ strict_arg)
 
 (* --- families --- *)
 

@@ -251,7 +251,7 @@ module Json = struct
     | _ -> None
 end
 
-let schema_version = 1
+let schema_version = 2
 
 type record = {
   params : (string * Json.t) list;
@@ -421,21 +421,27 @@ let decode text =
     in
     Ok { version; label; records }
 
-let save ~path t =
+let write_file path text =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (encode t))
+    (fun () -> output_string oc text)
 
-let load ~path =
+let read_file path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | text -> decode text
+  | text -> Ok text
   | exception Sys_error msg -> Error ("store: " ^ msg)
+
+let save ~path t = write_file path (encode t)
+
+let load ~path =
+  let* text = read_file path in
+  decode text
 
 (* --- comparison --- *)
 
@@ -465,7 +471,21 @@ let pp_params params =
          ^ match v with Json.String s -> s | v -> Json.to_string v)
        params)
 
-let diff ~baseline ~current =
+type change =
+  | Added of record
+  | Removed of record
+  | Changed of record * string list
+
+let is_changed = function Changed _ -> true | _ -> false
+
+let pp_change = function
+  | Added r -> Printf.sprintf "added   %s" (pp_params r.params)
+  | Removed r -> Printf.sprintf "removed %s" (pp_params r.params)
+  | Changed (r, fields) ->
+      Printf.sprintf "changed %s: %s" (pp_params r.params)
+        (String.concat "; " fields)
+
+let diff_changes ~baseline ~current =
   let baseline = strip_timing baseline and current = strip_timing current in
   let index store =
     List.map (fun r -> (params_key r.params, r)) store.records
@@ -475,7 +495,7 @@ let diff ~baseline ~current =
     List.filter_map
       (fun (key, cur) ->
         match List.assoc_opt key base_idx with
-        | None -> Some (Printf.sprintf "added   %s" (pp_params cur.params))
+        | None -> Some (Added cur)
         | Some base ->
             let fields =
               List.filter_map
@@ -492,18 +512,230 @@ let diff ~baseline ~current =
               if base.metrics = cur.metrics then fields
               else fields @ [ "metrics changed" ]
             in
-            if fields = [] then None
-            else
-              Some
-                (Printf.sprintf "changed %s: %s" (pp_params cur.params)
-                   (String.concat "; " fields)))
+            if fields = [] then None else Some (Changed (cur, fields)))
       cur_idx
   in
   let removed =
     List.filter_map
       (fun (key, base) ->
-        if List.mem_assoc key cur_idx then None
-        else Some (Printf.sprintf "removed %s" (pp_params base.params)))
+        if List.mem_assoc key cur_idx then None else Some (Removed base))
       base_idx
   in
   changes @ removed
+
+let diff ~baseline ~current =
+  List.map pp_change (diff_changes ~baseline ~current)
+
+(* --- sharded layout --- *)
+
+module Sharded = struct
+  type shard = {
+    file : string;
+    slice : (string * Json.t) list;
+    digest : string;
+    records : int;
+  }
+
+  type manifest = { version : int; label : string; shards : shard list }
+
+  let manifest_file = "manifest.json"
+
+  let default_slice r =
+    List.filter (fun (name, _) -> name = "family" || name = "delta") r.params
+
+  let slice_label slice = if slice = [] then "all" else pp_params slice
+
+  (* digests are taken over the canonical (timing-stripped) encoding, so
+     a shard's digest is independent of the domain count and of the
+     wall-clock values stored in the file *)
+  let digest_of_store st = Digest.to_hex (Digest.string (encode (strip_timing st)))
+
+  let shard_file_name =
+    let sanitize s =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' | '=' -> c
+          | _ -> ',')
+        s
+    in
+    fun slice -> "shard-" ^ sanitize (slice_label slice) ^ ".json"
+
+  (* partition records by slice, shards in first-appearance order,
+     records in store order within each shard *)
+  let partition slice_of (t : t) =
+    let tbl = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let slice = slice_of r in
+        let key = params_key slice in
+        match Hashtbl.find_opt tbl key with
+        | None ->
+            Hashtbl.add tbl key (slice, ref [ r ]);
+            order := key :: !order
+        | Some (_, rs) -> rs := r :: !rs)
+      t.records;
+    List.rev_map
+      (fun key ->
+        let slice, rs = Hashtbl.find tbl key in
+        (slice, List.rev !rs))
+      !order
+
+  let shard ?(slice = default_slice) t =
+    List.map
+      (fun (slice, records) ->
+        let st = { version = schema_version; label = slice_label slice; records } in
+        ( {
+            file = shard_file_name slice;
+            slice;
+            digest = digest_of_store st;
+            records = List.length records;
+          },
+          st ))
+      (partition slice t)
+
+  (* manifest codec, same one-entry-per-line discipline as the store *)
+
+  let json_of_shard s =
+    Json.Obj
+      [
+        ("file", String s.file);
+        ("slice", Obj s.slice);
+        ("digest", String s.digest);
+        ("records", Int s.records);
+      ]
+
+  let encode_manifest m =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"schema\":%d,\"label\":%s,\"shards\":[" m.version
+         (Json.to_string (String m.label)));
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+        Buffer.add_string buf (Json.to_string (json_of_shard s)))
+      m.shards;
+    Buffer.add_string buf "\n]}\n";
+    Buffer.contents buf
+
+  let shard_of_json j =
+    let* file = need "file" (Json.member "file" j) in
+    let* file = as_string "file" file in
+    let* slice = need "slice" (Json.member "slice" j) in
+    let* slice =
+      match slice with
+      | Json.Obj members -> Ok members
+      | _ -> Error "store: shard slice is not an object"
+    in
+    let* digest = need "digest" (Json.member "digest" j) in
+    let* digest = as_string "digest" digest in
+    let* records = int_member "records" j in
+    Ok { file; slice; digest; records }
+
+  let decode_manifest text =
+    let* j = Json.of_string text in
+    let* version = int_member "schema" j in
+    if version <> schema_version then
+      Error
+        (Printf.sprintf
+           "store: unsupported manifest schema version %d (this build reads \
+            version %d)"
+           version schema_version)
+    else
+      let* label = need "label" (Json.member "label" j) in
+      let* label = as_string "label" label in
+      let* shards = need "shards" (Json.member "shards" j) in
+      let* shards =
+        match shards with
+        | Json.List items -> map_result shard_of_json items
+        | _ -> Error "store: shards is not a list"
+      in
+      Ok { version; label; shards }
+
+  let load_manifest ~dir =
+    let* text = read_file (Filename.concat dir manifest_file) in
+    decode_manifest text
+
+  let load_shard ~dir s =
+    let* text = read_file (Filename.concat dir s.file) in
+    let* st = decode text in
+    let got = digest_of_store st in
+    if got <> s.digest then
+      Error
+        (Printf.sprintf
+           "store: shard %s digest mismatch (manifest %s, file %s)" s.file
+           s.digest got)
+    else Ok st
+
+  let save ?slice ~dir t =
+    let shards = shard ?slice t in
+    (* a shard whose digest the previous manifest already lists is left
+       untouched on disk: partial re-runs replace only what changed *)
+    let previous =
+      match load_manifest ~dir with Ok m -> m.shards | Error _ -> []
+    in
+    let prev_digests = List.map (fun s -> (s.file, s.digest)) previous in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (info, st) ->
+        let unchanged =
+          List.assoc_opt info.file prev_digests = Some info.digest
+        in
+        if not unchanged then
+          write_file (Filename.concat dir info.file) (encode st))
+      shards;
+    List.iter
+      (fun old ->
+        if not (List.exists (fun (info, _) -> info.file = old.file) shards)
+        then try Sys.remove (Filename.concat dir old.file) with Sys_error _ -> ())
+      previous;
+    let m =
+      { version = schema_version; label = t.label; shards = List.map fst shards }
+    in
+    write_file (Filename.concat dir manifest_file) (encode_manifest m);
+    m
+
+  let load ~dir =
+    let* m = load_manifest ~dir in
+    let* stores = map_result (load_shard ~dir) m.shards in
+    Ok
+      {
+        version = m.version;
+        label = m.label;
+        records = List.concat_map (fun (st : t) -> st.records) stores;
+      }
+
+  let diff ?slice ~baseline_dir current =
+    let* m = load_manifest ~dir:baseline_dir in
+    let cur_shards = shard ?slice current in
+    let base_by_key = List.map (fun s -> (params_key s.slice, s)) m.shards in
+    let cur_keys =
+      List.map (fun (info, _) -> params_key info.slice) cur_shards
+    in
+    let* per_shard =
+      map_result
+        (fun (info, st) ->
+          match List.assoc_opt (params_key info.slice) base_by_key with
+          | Some base when base.digest = info.digest ->
+              Ok [] (* unchanged: skipped without decoding the baseline *)
+          | Some base ->
+              let* base_store = load_shard ~dir:baseline_dir base in
+              Ok
+                (List.map
+                   (fun c -> (info.file, c))
+                   (diff_changes ~baseline:base_store ~current:st))
+          | None -> Ok (List.map (fun r -> (info.file, Added r)) st.records))
+        cur_shards
+    in
+    let* removed =
+      map_result
+        (fun base ->
+          if List.mem (params_key base.slice) cur_keys then Ok []
+          else
+            let* st = load_shard ~dir:baseline_dir base in
+            Ok (List.map (fun r -> (base.file, Removed r)) st.records))
+        m.shards
+    in
+    Ok (List.concat per_shard @ List.concat removed)
+end

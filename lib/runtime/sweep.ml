@@ -121,6 +121,13 @@ let uclass_job point =
 let gclass_jobs points = List.filter_map gclass_job points
 let uclass_jobs points = List.filter_map uclass_job points
 
+(* The smallest honest grid — shared by `sweep --tiny`, `make check`
+   and the test suite, so the CI gate exercises exactly this grid. *)
+let tiny_points =
+  cross [ range "delta" ~lo:3 ~hi:4; range "k" ~lo:1 ~hi:1; axis "i" [ 2 ] ]
+
+let tiny_jobs () = gclass_jobs tiny_points
+
 let record_of_job job =
   let metrics = Metrics.create () in
   let t0 = Metrics.now_ns () in

@@ -57,6 +57,14 @@ val uclass_jobs : point list -> job list
 (** Valid jobs for every point of a grid, in grid order (invalid
     points are dropped). *)
 
+val tiny_points : point list
+(** The smallest honest grid (Selection on G, ∆ ∈ 3..4, k = 1, i = 2)
+    — the smoke grid behind [sweep --tiny], the [make check] regression
+    gate, and the committed [BENCH_tiny/] baseline. *)
+
+val tiny_jobs : unit -> job list
+(** [gclass_jobs tiny_points]. *)
+
 val run : ?domains:int -> job list -> Store.record list
 (** Execute the jobs on a {!Pool} ([domains] as in {!Pool.map}) and
     return one record per job, in job-list order.  Each job gets a

@@ -199,6 +199,226 @@ let test_store_diff () =
         (Printf.sprintf "expected exactly one diff line, got %d"
            (List.length lines))
 
+(* --- Sharded store --- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "shades_shards" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> Sys.remove (Filename.concat dir name))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Two (family, delta) slices with deterministic measurements and noisy
+   timing fields — the shape a sweep store has. *)
+let sliced_record ~family ~delta ~k ~rounds ~wall_ns =
+  {
+    Store.params =
+      [
+        ("family", Store.Json.String family); ("delta", Store.Json.Int delta);
+        ("k", Store.Json.Int k);
+      ];
+    rounds;
+    messages = 100 * delta;
+    advice_bits = 10 * delta;
+    wall_ns;
+    metrics =
+      [
+        ("build", Metrics.Timing { count = 1; total_ns = wall_ns / 2 });
+        ("engine_rounds", Metrics.Counter rounds);
+      ];
+  }
+
+let sliced_store ?(wall_ns = 1000) ?(d4_rounds = 2) () =
+  Store.make ~label:"sharded unit test"
+    [
+      sliced_record ~family:"g" ~delta:3 ~k:1 ~rounds:1 ~wall_ns;
+      sliced_record ~family:"g" ~delta:4 ~k:1 ~rounds:d4_rounds ~wall_ns;
+      sliced_record ~family:"g" ~delta:4 ~k:2 ~rounds:d4_rounds ~wall_ns;
+    ]
+
+let test_shard_manifest_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let store = sliced_store () in
+      let m = Store.Sharded.save ~dir store in
+      Alcotest.(check int) "two slices" 2 (List.length m.Store.Sharded.shards);
+      (match Store.Sharded.load_manifest ~dir with
+      | Error e -> Alcotest.fail ("manifest load failed: " ^ e)
+      | Ok m' ->
+          Alcotest.(check bool) "manifest round-trip equal" true (m = m'));
+      List.iter
+        (fun s ->
+          Alcotest.(check int) "digest is hex MD5" 32
+            (String.length s.Store.Sharded.digest))
+        m.Store.Sharded.shards;
+      let d4 =
+        List.find
+          (fun s ->
+            List.assoc_opt "delta" s.Store.Sharded.slice
+            = Some (Store.Json.Int 4))
+          m.Store.Sharded.shards
+      in
+      Alcotest.(check int) "delta-4 shard has both k records" 2
+        d4.Store.Sharded.records;
+      match Store.Sharded.load ~dir with
+      | Error e -> Alcotest.fail ("sharded load failed: " ^ e)
+      | Ok store' ->
+          Alcotest.(check bool)
+            "reassembled store equals original (grid order grouped by slice)"
+            true (store' = store))
+
+let test_shard_digest_ignores_timing () =
+  let a = Store.Sharded.shard (sliced_store ~wall_ns:1000 ()) in
+  let b = Store.Sharded.shard (sliced_store ~wall_ns:999_999 ()) in
+  let c = Store.Sharded.shard (sliced_store ~d4_rounds:3 ()) in
+  let digests shards =
+    List.map (fun (s, _) -> s.Store.Sharded.digest) shards
+  in
+  Alcotest.(check (list string))
+    "digests independent of timing fields" (digests a) (digests b);
+  Alcotest.(check string) "delta-3 digest unchanged by delta-4 edit"
+    (digests a |> List.hd) (digests c |> List.hd);
+  Alcotest.(check bool) "changed rounds change the delta-4 digest" false
+    (List.nth (digests a) 1 = List.nth (digests c) 1)
+
+(* The tiny CI grid must hash identically whatever the domain count:
+   this is exactly what lets `make check` gate against a committed
+   manifest regardless of the machine running it. *)
+let test_shard_digest_stable_across_domains () =
+  let shards domains =
+    Store.Sharded.shard (Store.make (Sweep.run ~domains (Sweep.tiny_jobs ())))
+  in
+  let digests shards =
+    List.map (fun (s, _) -> s.Store.Sharded.digest) shards
+  in
+  Alcotest.(check (list string))
+    "tiny-grid shard digests equal across 1 vs 4 domains"
+    (digests (shards 1))
+    (digests (shards 4))
+
+let test_shard_replacement () =
+  with_tmp_dir (fun dir ->
+      let m = Store.Sharded.save ~dir (sliced_store ()) in
+      let file_of delta =
+        (List.find
+           (fun s ->
+             List.assoc_opt "delta" s.Store.Sharded.slice
+             = Some (Store.Json.Int delta))
+           m.Store.Sharded.shards)
+          .Store.Sharded.file
+      in
+      let d3_before = read_bytes (Filename.concat dir (file_of 3)) in
+      (* re-run of the delta=4 slice: measurements changed there, and
+         timing noise changed everywhere *)
+      let m' =
+        Store.Sharded.save ~dir (sliced_store ~wall_ns:777 ~d4_rounds:9 ())
+      in
+      let d3_after = read_bytes (Filename.concat dir (file_of 3)) in
+      Alcotest.(check string)
+        "untouched slice's shard file is byte-identical" d3_before d3_after;
+      Alcotest.(check bool) "changed slice's digest moved" false
+        (List.nth m.Store.Sharded.shards 1 = List.nth m'.Store.Sharded.shards 1);
+      Alcotest.(check bool) "unchanged slice's manifest entry kept" true
+        (List.hd m.Store.Sharded.shards = List.hd m'.Store.Sharded.shards))
+
+let test_shard_schema_and_digest_rejection () =
+  with_tmp_dir (fun dir ->
+      let store = sliced_store () in
+      let m = Store.Sharded.save ~dir store in
+      let shard0 = List.hd m.Store.Sharded.shards in
+      let path = Filename.concat dir shard0.Store.Sharded.file in
+      let original = read_bytes path in
+      (* a stale shard written by an older build: schema 1 *)
+      let stale =
+        let this = Printf.sprintf "\"schema\":%d" Store.schema_version in
+        let old = "\"schema\":1" in
+        let i =
+          let rec find i =
+            if i + String.length this > String.length original then
+              Alcotest.fail "schema field not found"
+            else if String.sub original i (String.length this) = this then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        String.sub original 0 i ^ old
+        ^ String.sub original
+            (i + String.length this)
+            (String.length original - i - String.length this)
+      in
+      let oc = open_out path in
+      output_string oc stale;
+      close_out oc;
+      (match Store.Sharded.load ~dir with
+      | Ok _ -> Alcotest.fail "stale shard schema must be rejected"
+      | Error e ->
+          Alcotest.(check bool) "error names the schema version" true
+            (String.length e > 0));
+      (* same bytes count, wrong content: digest mismatch *)
+      let tampered =
+        String.map (fun c -> if c = '1' then '7' else c) original
+      in
+      let oc = open_out path in
+      output_string oc tampered;
+      close_out oc;
+      (match Store.Sharded.load ~dir with
+      | Ok _ -> Alcotest.fail "tampered shard must be rejected"
+      | Error _ -> ());
+      (* restore, then break the manifest schema *)
+      let oc = open_out path in
+      output_string oc original;
+      close_out oc;
+      let mpath = Filename.concat dir Store.Sharded.manifest_file in
+      let mtext = read_bytes mpath in
+      let oc = open_out mpath in
+      output_string oc
+        (Printf.sprintf "{\"schema\":%d,%s" (Store.schema_version + 1)
+           (String.sub mtext
+              (String.index mtext ',' + 1)
+              (String.length mtext - String.index mtext ',' - 1)));
+      close_out oc;
+      match Store.Sharded.load_manifest ~dir with
+      | Ok _ -> Alcotest.fail "bumped manifest schema must be rejected"
+      | Error _ -> ())
+
+let test_shard_streaming_diff () =
+  with_tmp_dir (fun dir ->
+      let baseline = sliced_store () in
+      ignore (Store.Sharded.save ~dir baseline);
+      (* no drift against itself *)
+      (match Store.Sharded.diff ~baseline_dir:dir baseline with
+      | Error e -> Alcotest.fail e
+      | Ok [] -> ()
+      | Ok changes ->
+          Alcotest.fail
+            (Printf.sprintf "self-diff not empty: %d changes"
+               (List.length changes)));
+      (* one slice drifts: every reported change is tagged with that
+         shard, the clean shard never appears *)
+      let current = sliced_store ~wall_ns:31337 ~d4_rounds:5 () in
+      match Store.Sharded.diff ~baseline_dir:dir current with
+      | Error e -> Alcotest.fail e
+      | Ok changes ->
+          Alcotest.(check int) "both delta-4 records drifted" 2
+            (List.length changes);
+          List.iter
+            (fun (shard, c) ->
+              Alcotest.(check string) "tagged with the drifting shard"
+                "shard-family=g,delta=4.json" shard;
+              Alcotest.(check bool) "classified as changed" true
+                (Store.is_changed c))
+            changes)
+
 (* --- Sweep --- *)
 
 let test_cross_order () =
@@ -311,6 +531,21 @@ let () =
             test_store_rejects_garbage;
           Alcotest.test_case "json value round-trip" `Quick test_json_values;
           Alcotest.test_case "diff" `Quick test_store_diff;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "manifest round-trip + reassembly" `Quick
+            test_shard_manifest_roundtrip;
+          Alcotest.test_case "digest ignores timing" `Quick
+            test_shard_digest_ignores_timing;
+          Alcotest.test_case "digest stable across domain counts" `Quick
+            test_shard_digest_stable_across_domains;
+          Alcotest.test_case "single-shard replacement" `Quick
+            test_shard_replacement;
+          Alcotest.test_case "schema + digest rejection" `Quick
+            test_shard_schema_and_digest_rejection;
+          Alcotest.test_case "streaming diff tags shards" `Quick
+            test_shard_streaming_diff;
         ] );
       ( "sweep",
         [
