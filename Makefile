@@ -3,6 +3,10 @@
 # Where the smoke sweep writes its store.  CI overrides this to a
 # workspace path so the store can be uploaded as an artifact on failure.
 SMOKE_OUT ?= /tmp/shades_smoke_sweep.json
+# The smoke sweep also records one execution trace per grid point here:
+# when the gate fails, the traces say exactly which (round, vertex,
+# event) moved (`shades_cli trace diff` against a known-good run).
+SMOKE_TRACES ?= /tmp/shades_smoke_traces
 
 .PHONY: all check build test smoke sweep bless bench clean
 
@@ -18,12 +22,13 @@ test:
 # sweep compared --strict against the committed sharded baseline
 # (BENCH_tiny/) — any changed rounds/messages/advice, or any grid-shape
 # change, exits nonzero.  Intentional changes go through `make bless`.
+# Tracing is metrics-neutral, so recording never perturbs the gate.
 check:
 	dune build @all
 	dune runtest
 	@mkdir -p $(dir $(SMOKE_OUT))
 	dune exec bin/shades_cli.exe -- sweep --tiny -o $(SMOKE_OUT) \
-	    --compare BENCH_tiny --strict
+	    --trace-out $(SMOKE_TRACES) --compare BENCH_tiny --strict
 
 smoke:
 	@mkdir -p $(dir $(SMOKE_OUT))

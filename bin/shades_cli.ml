@@ -36,10 +36,21 @@ let parse_graph spec =
         | [ _ ] -> failwith "line-ports needs an even number of ports"
       in
       Gen.path_with_ports (pair ps)
+  | [ "gclass"; args ] -> (
+      match String.split_on_char ',' args |> List.map int_of_string with
+      | [ delta; k; i ] -> (Gclass.build { Gclass.delta; k } ~i).Gclass.graph
+      | _ -> failwith "gclass:<delta>,<k>,<i>")
+  | [ "uclass"; args ] -> (
+      match String.split_on_char ',' args |> List.map int_of_string with
+      | [ delta; k; sigma ] ->
+          let p = { Uclass.delta; k } in
+          (Uclass.build p ~sigma:(Uclass.uniform_sigma p sigma)).Uclass.graph
+      | _ -> failwith "uclass:<delta>,<k>,<sigma>")
   | _ ->
       failwith
         "graph spec: ring:<n> | path:<n> | star:<n> | clique:<n> | \
-         random:<seed>,<n>,<extra> | line-ports:<p1>,<q1>,..."
+         random:<seed>,<n>,<extra> | line-ports:<p1>,<q1>,... | \
+         gclass:<delta>,<k>,<i> | uclass:<delta>,<k>,<sigma>"
 
 let graph_arg =
   Arg.(
@@ -260,11 +271,14 @@ let labelings_cmd =
 
 let sweep_cmd =
   let open Shades_runtime in
-  let run family delta_lo delta_hi k_lo k_hi sigmas is domains out sharded
-      tiny compare_with strict =
+  let run family delta_lo delta_hi k_lo k_hi sigmas is mus zeffs max_order
+      domains out sharded tiny compare_with strict trace_out =
     let domains =
       match domains with Some d -> d | None -> Pool.default_domains ()
     in
+    (* Sweep-level registry: J-class points skipped by the node budget
+       are tallied here — the grid shrinking must never be silent. *)
+    let sweep_metrics = Metrics.create () in
     let jobs, label =
       if tiny then
         (* the smallest honest grid — the CI smoke test and the grid
@@ -280,21 +294,67 @@ let sweep_cmd =
           Sweep.uclass_jobs
             (Sweep.cross [ delta; k; Sweep.axis "sigma" sigmas ])
         in
+        let j_jobs () =
+          Sweep.jclass_jobs ~max_order ~metrics:sweep_metrics
+            (Sweep.cross [ Sweep.axis "mu" mus; k; Sweep.axis "z_eff" zeffs ])
+        in
         let jobs =
           match family with
           | "g" -> g_jobs ()
           | "u" -> u_jobs ()
+          | "j" -> j_jobs ()
           | "both" -> g_jobs () @ u_jobs ()
-          | f -> failwith ("unknown family: " ^ f ^ " (expected g, u or both)")
+          | "all" -> g_jobs () @ u_jobs () @ j_jobs ()
+          | f ->
+              failwith
+                ("unknown family: " ^ f ^ " (expected g, u, j, both or all)")
         in
         ( jobs,
           Printf.sprintf "family=%s delta=%d..%d k=%d..%d" family delta_lo
             delta_hi k_lo k_hi )
       end
     in
+    let jclass_skipped =
+      List.fold_left
+        (fun acc (name, v) ->
+          match v with
+          | Metrics.Counter c when name = "jclass_skipped_max_order" -> acc + c
+          | _ -> acc)
+        0
+        (Metrics.snapshot sweep_metrics)
+    in
+    if jclass_skipped > 0 then
+      Printf.printf
+        "note: %d j-class point%s over the %d-node budget skipped (raise \
+         --max-order to include)\n"
+        jclass_skipped
+        (if jclass_skipped = 1 then "" else "s")
+        max_order;
     if jobs = [] then failwith "sweep: empty grid (all points invalid)";
     let t0 = Unix.gettimeofday () in
-    let records = Sweep.run ~domains jobs in
+    let records =
+      match trace_out with
+      | None -> Sweep.run ~domains jobs
+      | Some dir ->
+          let traced = Sweep.run_traced ~domains jobs in
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          List.iteri
+            (fun idx (_, tr) ->
+              let name =
+                String.map
+                  (fun c -> if c = '/' || c = ' ' then '_' else c)
+                  tr.Shades_trace.Trace.meta.Shades_trace.Trace.label
+              in
+              Shades_trace.Codec.write
+                ~path:
+                  (Filename.concat dir (Printf.sprintf "%02d-%s.trace" idx name))
+                tr)
+            traced;
+          Printf.printf "wrote %d trace%s to %s/\n" (List.length traced)
+            (if List.length traced = 1 then "" else "s")
+            dir;
+          List.map fst traced
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let store = Store.make ~label records in
     if sharded then ignore (Store.Sharded.save ~dir:out store)
@@ -406,6 +466,25 @@ let sweep_cmd =
       value & opt (list int) [ 2; 3 ]
       & info [ "i" ] ~docv:"I,..." ~doc:"Graph indexes for the G family axis.")
   in
+  let mus_arg =
+    Arg.(
+      value & opt (list int) [ 3 ]
+      & info [ "mu" ] ~docv:"MU,..." ~doc:"Arities for the J family axis.")
+  in
+  let zeffs_arg =
+    Arg.(
+      value & opt (list int) [ 1; 2; 3 ]
+      & info [ "zeff" ] ~docv:"Z,..."
+          ~doc:"Scaled chain exponents for the J family axis (2^zeff \
+                gadgets); J points also need $(b,--k-min) >= 4.")
+  in
+  let max_order_arg =
+    Arg.(
+      value & opt int Shades_runtime.Sweep.default_max_order
+      & info [ "max-order" ] ~docv:"N"
+          ~doc:"Node budget for J-class points: points whose exact instance \
+                order exceeds N are skipped (and reported, never silently).")
+  in
   let domains_arg =
     Arg.(
       value & opt (some int) None
@@ -449,6 +528,15 @@ let sweep_cmd =
                 including added or removed sweep points (grid-shape \
                 changes), not just changed measurements.")
   in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:"Record every job's event stream and write one trace file \
+                per record into DIR (created if missing).  Tracing never \
+                changes the records, so $(b,--compare) still applies.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -456,8 +544,229 @@ let sweep_cmd =
           write a schema-versioned results store.")
     Term.(
       const run $ family_arg $ delta_lo $ delta_hi $ k_lo $ k_hi $ sigmas_arg
-      $ is_arg $ domains_arg $ out_arg $ sharded_arg $ tiny_arg $ compare_arg
-      $ strict_arg)
+      $ is_arg $ mus_arg $ zeffs_arg $ max_order_arg $ domains_arg $ out_arg
+      $ sharded_arg $ tiny_arg $ compare_arg $ strict_arg $ trace_out_arg)
+
+(* --- trace --- *)
+
+module Trace = Shades_trace.Trace
+module Codec = Shades_trace.Codec
+module Replay = Shades_trace.Replay
+module Tdiff = Shades_trace.Diff
+module Event = Shades_trace.Event
+
+(* One execution of [task] on [g] under [engine], as the thunk shape
+   {!Replay.run} consumes.  `trace record` stores "task graph-spec" in
+   the label, so `trace replay` can rebuild exactly this thunk. *)
+let trace_exec ~task ~engine g =
+  let go scheme emit =
+    match engine with
+    | Trace.Sync -> ignore (Scheme.run ~tracer:emit scheme g)
+    | Trace.Async { seed } ->
+        ignore (Scheme.run_async ~seed ~tracer:emit scheme g)
+  in
+  match String.lowercase_ascii task with
+  | "s" -> go Select_by_view.scheme
+  | "pe" -> go Map_advice.port_election
+  | "ppe" -> go Map_advice.port_path_election
+  | "cppe" -> go Map_advice.complete_port_path_election
+  | t -> failwith ("unknown task: " ^ t ^ " (expected s, pe, ppe, cppe)")
+
+let load_trace path =
+  match Codec.read ~path with
+  | Ok t -> t
+  | Error e -> failwith (path ^ ": " ^ e)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Trace file.")
+
+let trace_record_cmd =
+  let run spec task async seed capacity out =
+    let g = parse_graph spec in
+    let engine = if async then Trace.Async { seed } else Trace.Sync in
+    let r = Trace.recorder ?capacity () in
+    trace_exec ~task ~engine g (Trace.emit r);
+    let draft =
+      Trace.capture r
+        {
+          Trace.engine;
+          graph_order = Port_graph.order g;
+          advice_bits = 0;
+          label = String.lowercase_ascii task ^ " " ^ spec;
+        }
+    in
+    let advice_bits =
+      Array.fold_left
+        (fun acc e ->
+          match e with
+          | Event.Advice_read { bits; _ } -> max acc bits
+          | _ -> acc)
+        0 draft.Trace.events
+    in
+    let trace =
+      { draft with Trace.meta = { draft.Trace.meta with Trace.advice_bits } }
+    in
+    Codec.write ~path:out trace;
+    let s = Trace.stats trace in
+    Printf.printf
+      "wrote %s: %s, n=%d, %d advice bits, %d events (%d dropped), %d \
+       rounds, %d sends, %d sync markers\n"
+      out
+      (Trace.engine_to_string engine)
+      trace.Trace.meta.Trace.graph_order advice_bits s.Trace.events
+      s.Trace.dropped s.Trace.rounds s.Trace.sends s.Trace.sync_markers
+  in
+  let async_arg =
+    Arg.(
+      value & flag
+      & info [ "async" ]
+          ~doc:"Execute through the α-synchronizer (seeded delays) instead \
+                of the synchronous engine.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Delay PRNG seed (with $(b,--async)).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Recorder ring-buffer capacity (default 1048576 events); \
+                beyond it the oldest events are evicted and counted.")
+  in
+  let task_arg =
+    Arg.(
+      value & opt string "s"
+      & info [ "t"; "task" ] ~docv:"TASK" ~doc:"One of s, pe, ppe, cppe.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run an election scheme through the simulator and record its \
+          event stream to a versioned binary trace.")
+    Term.(
+      const run $ graph_arg $ task_arg $ async_arg $ seed_arg $ capacity_arg
+      $ out_arg)
+
+let trace_replay_cmd =
+  let run file =
+    let trace = load_trace file in
+    let label = trace.Trace.meta.Trace.label in
+    let task, spec =
+      match String.index_opt label ' ' with
+      | Some i ->
+          ( String.sub label 0 i,
+            String.sub label (i + 1) (String.length label - i - 1) )
+      | None ->
+          failwith
+            ("trace label is not \"task graph-spec\" (was it recorded by \
+              `trace record`?): " ^ label)
+    in
+    let g = parse_graph spec in
+    match
+      Replay.run trace (trace_exec ~task ~engine:trace.Trace.meta.Trace.engine g)
+    with
+    | Ok () ->
+        Printf.printf "replay ok: %d events reproduced (%s on %s, %s)\n"
+          (Array.length trace.Trace.events)
+          task spec
+          (Trace.engine_to_string trace.Trace.meta.Trace.engine)
+    | Error d ->
+        Printf.printf "replay DIVERGED at %s\n" (Replay.pp_divergence d);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded run and fail on the first event that \
+          differs from the trace.")
+    Term.(const run $ trace_file_arg)
+
+let trace_diff_cmd =
+  let run left right limit =
+    let l = load_trace left and r = load_trace right in
+    match Tdiff.divergences ~limit l r with
+    | [] ->
+        Printf.printf "traces agree modulo synchronizer markers (%s vs %s)\n"
+          (Trace.engine_to_string l.Trace.meta.Trace.engine)
+          (Trace.engine_to_string r.Trace.meta.Trace.engine)
+    | ds ->
+        List.iter (fun d -> print_endline (Tdiff.pp_divergence d)) ds;
+        Printf.printf "%d divergence(s)%s\n" (List.length ds)
+          (if List.length ds >= limit then " (capped)" else "");
+        exit 1
+  in
+  let left_arg =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"LEFT" ~doc:"Trace.")
+  in
+  let right_arg =
+    Arg.(
+      required & pos 1 (some string) None & info [] ~docv:"RIGHT" ~doc:"Trace.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "limit" ] ~docv:"N" ~doc:"Report at most N divergences.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Align two traces (synchronizer markers modulo'd out) and report \
+          the earliest divergences as (round, vertex, event).")
+    Term.(const run $ left_arg $ right_arg $ limit_arg)
+
+let trace_stats_cmd =
+  let run file =
+    let t = load_trace file in
+    let s = Trace.stats t in
+    Printf.printf "label:        %s\n" t.Trace.meta.Trace.label;
+    Printf.printf "engine:       %s\n"
+      (Trace.engine_to_string t.Trace.meta.Trace.engine);
+    Printf.printf "graph order:  %d\n" t.Trace.meta.Trace.graph_order;
+    Printf.printf "advice bits:  %d\n" t.Trace.meta.Trace.advice_bits;
+    Printf.printf "events:       %d (+%d dropped)\n" s.Trace.events
+      s.Trace.dropped;
+    Printf.printf "rounds:       %d (max round %d)\n" s.Trace.rounds
+      s.Trace.max_round;
+    Printf.printf "sends:        %d (total size %d)\n" s.Trace.sends
+      s.Trace.send_size_total;
+    Printf.printf "delivers:     %d\n" s.Trace.delivers;
+    Printf.printf "decides:      %d\n" s.Trace.decides;
+    Printf.printf "halts:        %d\n" s.Trace.halts;
+    Printf.printf "advice reads: %d\n" s.Trace.advice_reads;
+    Printf.printf "sync markers: %d\n" s.Trace.sync_markers;
+    match Trace.per_round_sends t with
+    | [] -> ()
+    | per_round ->
+        Printf.printf "sends by round:%s\n"
+          (String.concat ""
+             (List.map
+                (fun (r, c) -> Printf.sprintf " %d:%d" r c)
+                per_round))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarize a recorded trace.")
+    Term.(const run $ trace_file_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Record, replay, diff and summarize execution traces of the LOCAL \
+          simulator.")
+    [ trace_record_cmd; trace_replay_cmd; trace_diff_cmd; trace_stats_cmd ]
 
 (* --- families --- *)
 
@@ -561,5 +870,5 @@ let () =
           [
             index_cmd; views_cmd; elect_cmd; dot_cmd; quotient_cmd;
             tradeoff_cmd; labelings_cmd; family_g_cmd; family_u_cmd;
-            family_j_cmd; sweep_cmd;
+            family_j_cmd; sweep_cmd; trace_cmd;
           ]))

@@ -45,6 +45,8 @@ let of_packed src len =
 
 let to_bools b = List.init b.len (get b)
 
+let to_packed b = Bytes.sub b.bytes 0 (byte_count b.len)
+
 let of_string s =
   make (String.length s) (fun i ->
       match s.[i] with

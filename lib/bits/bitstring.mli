@@ -27,6 +27,11 @@ val of_packed : Bytes.t -> int -> t
 (** [to_bools b] lists the bits in order. *)
 val to_bools : t -> bool list
 
+(** [to_packed b] is the bits packed MSB-first into [⌈length/8⌉] bytes
+    (padding bits clear) — the inverse of {!of_packed}, and the fast
+    path for binary file codecs. *)
+val to_packed : t -> Bytes.t
+
 (** [of_string "0110"] parses a textual bitstring.
     @raise Invalid_argument on characters other than ['0']/['1']. *)
 val of_string : string -> t

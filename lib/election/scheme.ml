@@ -7,20 +7,20 @@ type 'o t = {
 
 type 'o run = { outputs : 'o array; rounds : int; advice_bits : int }
 
-let run_with_advice ?on_round scheme g ~advice =
+let run_with_advice ?on_round ?tracer scheme g ~advice =
   let outputs, rounds =
-    Shades_localsim.Full_info.run_adaptive ?on_round g ~advice
+    Shades_localsim.Full_info.run_adaptive ?on_round ?tracer g ~advice
       ~rounds_of:scheme.rounds_of ~decide:scheme.decide
   in
   { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }
 
-let run ?on_round scheme g =
-  run_with_advice ?on_round scheme g ~advice:(scheme.oracle g)
+let run ?on_round ?tracer scheme g =
+  run_with_advice ?on_round ?tracer scheme g ~advice:(scheme.oracle g)
 
-let run_async ?seed ?on_round scheme g =
+let run_async ?seed ?on_round ?tracer scheme g =
   let advice = scheme.oracle g in
   let outputs, rounds =
-    Shades_localsim.Full_info.run_adaptive_async ?seed ?on_round g ~advice
-      ~rounds_of:scheme.rounds_of ~decide:scheme.decide
+    Shades_localsim.Full_info.run_adaptive_async ?seed ?on_round ?tracer g
+      ~advice ~rounds_of:scheme.rounds_of ~decide:scheme.decide
   in
   { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }

@@ -28,9 +28,13 @@ type 'o run = {
 (** Execute the scheme on [g] through the LOCAL simulator (the node
     algorithm really exchanges messages; nothing is shortcut).
     [on_round] is forwarded to the engine: per-round telemetry (round
-    number, cumulative messages) for the sweep runtime. *)
+    number, cumulative messages) for the sweep runtime.  [tracer]
+    receives every execution event ({!Shades_trace.Event}) in the
+    engine's deterministic order — attach a
+    {!Shades_trace.Trace.recorder} to capture a replayable trace. *)
 val run :
   ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
   'o t ->
   Shades_graph.Port_graph.t ->
   'o run
@@ -40,6 +44,7 @@ val run :
     the pigeonhole forces one string to serve two graphs. *)
 val run_with_advice :
   ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
   'o t ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
@@ -47,10 +52,13 @@ val run_with_advice :
 
 (** Asynchronous execution (seeded adversarial delays, α-synchronizer):
     same outputs and round count as {!run} — the paper's remark that the
-    synchronous LOCAL process survives asynchrony via time-stamps. *)
+    synchronous LOCAL process survives asynchrony via time-stamps.
+    Traced events additionally include [Sync_marker]s; see
+    {!Shades_localsim.Async_engine.run}. *)
 val run_async :
   ?seed:int ->
   ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
   'o t ->
   Shades_graph.Port_graph.t ->
   'o run

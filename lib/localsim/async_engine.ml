@@ -1,4 +1,5 @@
 module Port_graph = Shades_graph.Port_graph
+module Event = Shades_trace.Event
 
 (* A wire message: the sender's round plus the payload the algorithm
    chose to send.  A [None] payload still travels — it is the
@@ -6,11 +7,13 @@ module Port_graph = Shades_graph.Port_graph
    payload carries the receiver's port so delivery needs no lookup. *)
 type 'msg wire = { round : int; payload : (int * 'msg) option }
 
-let run ?max_rounds ?(seed = 0) ?on_round g ~advice alg =
+let run ?max_rounds ?(seed = 0) ?on_round ?tracer ?(msg_size = fun _ -> 0) g
+    ~advice alg =
   let n = Port_graph.order g in
   let max_rounds =
     match max_rounds with Some m -> m | None -> (4 * n) + 16
   in
+  let emit = match tracer with Some f -> f | None -> fun _ -> () in
   let rng = Random.State.make [| seed; 0x5eed |] in
   (* Delivery queue ordered by (time, sequence); the sequence number
      makes simultaneous deliveries deterministic. *)
@@ -33,6 +36,19 @@ let run ?max_rounds ?(seed = 0) ?on_round g ~advice alg =
         alg.Engine.init ~degree:(Port_graph.degree g v) ~advice)
   in
   let outputs = Array.map alg.Engine.output states in
+  (match tracer with
+  | None -> ()
+  | Some _ ->
+      let bits = Shades_bits.Bitstring.length advice in
+      for v = 0 to n - 1 do
+        emit (Event.Advice_read { v; bits })
+      done;
+      for v = 0 to n - 1 do
+        if Option.is_some outputs.(v) then begin
+          emit (Event.Decide { v; round = 0 });
+          emit (Event.Halt { v; round = 0 })
+        end
+      done);
   let rounds = Array.make n 0 in
   let decided_round =
     Array.map (fun o -> if Option.is_some o then Some 0 else None) outputs
@@ -43,33 +59,44 @@ let run ?max_rounds ?(seed = 0) ?on_round g ~advice alg =
   in
   (* A decided node has halted: it emits only the bare end-of-round
      markers its neighbours' synchronizers are waiting for — never a
-     payload — mirroring the synchronous engine's short-circuit. *)
+     payload — mirroring the synchronous engine's short-circuit.
+     Markers are traced as [Sync_marker], never [Send]: they are
+     synchronizer scaffolding with no synchronous counterpart. *)
   let send_round v =
     let halted = Option.is_some outputs.(v) in
     for p = 0 to Port_graph.degree g v - 1 do
       let u, q = Port_graph.neighbor g v p in
+      let round = rounds.(v) + 1 in
       let payload =
         if halted then None
         else
           match alg.Engine.send states.(v) ~port:p with
           | Some m ->
               incr messages;
+              emit (Event.Send { round; v; port = p; size = msg_size m });
               Some (q, m)
           | None -> None
       in
-      push_event u { round = rounds.(v) + 1; payload }
+      if payload = None then emit (Event.Sync_marker { round; v; port = p });
+      push_event u { round; payload }
     done
   in
-  (* Telemetry: report each synchronizer round the first time some node
-     completes it (the async frontier's analogue of the synchronous
-     per-round hook). *)
+  (* Telemetry: a synchronizer round counts as executed the first time
+     an {e undecided} node steps it — exactly the rounds the synchronous
+     engine executes.  Decided nodes keep completing marker-only rounds
+     to feed their neighbours' synchronizers; those never fire the hook
+     (and never emit [Round_start]), so the reported rounds are 1..R
+     with R the synchronous round count, each reported once, in
+     increasing order, with monotone cumulative message counts. *)
   let reported = ref 0 in
-  let report_round r =
-    match on_round with
-    | Some f when r > !reported ->
-        reported := r;
-        f ~round:r ~messages:!messages
-    | _ -> ()
+  let stepped_round r =
+    if r > !reported then begin
+      reported := r;
+      emit (Event.Round_start { round = r });
+      match on_round with
+      | Some f -> f ~round:r ~messages:!messages
+      | None -> ()
+    end
   in
   let all_decided () = Array.for_all Option.is_some outputs in
   if not (all_decided ()) then
@@ -92,17 +119,29 @@ let run ?max_rounds ?(seed = 0) ?on_round g ~advice alg =
       | Some wires when List.length wires = Port_graph.degree g v ->
           Hashtbl.remove inboxes.(v) next;
           if Option.is_none outputs.(v) then begin
+            stepped_round next;
             let inbox =
               List.filter_map (fun w -> w.payload) wires
               |> List.sort (fun (p, _) (q, _) -> Int.compare p q)
             in
+            (match tracer with
+            | None -> ()
+            | Some _ ->
+                List.iter
+                  (fun (p, m) ->
+                    emit
+                      (Event.Deliver
+                         { round = next; v; port = p; size = msg_size m }))
+                  inbox);
             states.(v) <- alg.Engine.step states.(v) inbox;
             outputs.(v) <- alg.Engine.output states.(v);
-            if Option.is_some outputs.(v) && decided_round.(v) = None then
-              decided_round.(v) <- Some next
+            if Option.is_some outputs.(v) && decided_round.(v) = None then begin
+              decided_round.(v) <- Some next;
+              emit (Event.Decide { v; round = next });
+              emit (Event.Halt { v; round = next })
+            end
           end;
           rounds.(v) <- next;
-          report_round next;
           if next > max_rounds || all_decided () then begin
             progressing := false;
             stop := true

@@ -29,13 +29,31 @@
     synchronous short-circuit.
 
     [on_round] fires the first time each synchronizer round number is
-    completed by some node (the advancing frontier), with the
-    cumulative message count at that moment.
+    {e stepped} by an undecided node (the advancing frontier), with the
+    cumulative message count at that moment.  Decided nodes also keep
+    completing rounds — marker-only, to feed their neighbours'
+    synchronizers — but those never fire the hook, so the reported
+    round numbers are exactly the synchronous engine's 1..R (no
+    overshoot), each reported once, strictly increasing, and the
+    cumulative message counts are monotone.  (The counts at a given
+    round differ from the synchronous engine's: delivery interleaving
+    decides how many sends precede the first step of a round.)
+
+    [tracer] and [msg_size] are as in {!Engine.run}, with one extra
+    event kind: every end-of-round marker — a port where the algorithm
+    sent nothing, or any port of a halted node — is traced as
+    [Sync_marker], never [Send].  Modulo those markers (and event
+    order, which delivery timing permutes), the traced events coincide
+    with the synchronous run's — {!Shades_trace.Diff.normalize} makes
+    the comparison exact, and a same-seed re-execution reproduces the
+    stream verbatim for {!Shades_trace.Replay}.
     @raise Engine.Did_not_terminate like {!Engine.run}. *)
 val run :
   ?max_rounds:int ->
   ?seed:int ->
   ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  ?msg_size:('msg -> int) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   ('state, 'msg, 'output) Engine.algorithm ->

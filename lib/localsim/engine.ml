@@ -1,4 +1,5 @@
 module Port_graph = Shades_graph.Port_graph
+module Event = Shades_trace.Event
 
 type ('state, 'msg, 'output) algorithm = {
   init : degree:int -> advice:Shades_bits.Bitstring.t -> 'state;
@@ -11,20 +12,35 @@ type 'output result = { outputs : 'output array; rounds : int; messages : int }
 
 exception Did_not_terminate of int
 
-let run ?max_rounds ?on_round g ~advice alg =
+let run ?max_rounds ?on_round ?tracer ?(msg_size = fun _ -> 0) g ~advice alg =
   let n = Port_graph.order g in
   let max_rounds =
     match max_rounds with Some m -> m | None -> (4 * n) + 16
   in
+  let emit = match tracer with Some f -> f | None -> fun _ -> () in
+  let advice_bits = Shades_bits.Bitstring.length advice in
   let states =
     Array.init n (fun v -> alg.init ~degree:(Port_graph.degree g v) ~advice)
   in
   let outputs = Array.map alg.output states in
+  (match tracer with
+  | None -> ()
+  | Some _ ->
+      for v = 0 to n - 1 do
+        emit (Event.Advice_read { v; bits = advice_bits })
+      done;
+      for v = 0 to n - 1 do
+        if Option.is_some outputs.(v) then begin
+          emit (Event.Decide { v; round = 0 });
+          emit (Event.Halt { v; round = 0 })
+        end
+      done);
   let all_decided () = Array.for_all Option.is_some outputs in
   let rounds = ref 0 in
   let messages = ref 0 in
   while (not (all_decided ())) && !rounds < max_rounds do
     incr rounds;
+    emit (Event.Round_start { round = !rounds });
     (* Collect this round's messages from every node, then deliver: the
        two phases are separated so that delivery is truly synchronous.
        Decided nodes have halted — they send nothing, and anything
@@ -37,6 +53,9 @@ let run ?max_rounds ?on_round g ~advice alg =
           | None -> ()
           | Some m ->
               incr messages;
+              emit
+                (Event.Send
+                   { round = !rounds; v; port = p; size = msg_size m });
               let u, q = Port_graph.neighbor g v p in
               inboxes.(u) <- (q, m) :: inboxes.(u)
         done
@@ -46,8 +65,21 @@ let run ?max_rounds ?on_round g ~advice alg =
         let inbox =
           List.sort (fun (p, _) (q, _) -> Int.compare p q) inboxes.(v)
         in
+        (match tracer with
+        | None -> ()
+        | Some _ ->
+            List.iter
+              (fun (p, m) ->
+                emit
+                  (Event.Deliver
+                     { round = !rounds; v; port = p; size = msg_size m }))
+              inbox);
         states.(v) <- alg.step states.(v) inbox;
-        outputs.(v) <- alg.output states.(v)
+        outputs.(v) <- alg.output states.(v);
+        if Option.is_some outputs.(v) then begin
+          emit (Event.Decide { v; round = !rounds });
+          emit (Event.Halt { v; round = !rounds })
+        end
       end
     done;
     match on_round with

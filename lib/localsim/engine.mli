@@ -48,10 +48,23 @@ exception Did_not_terminate of int
     [on_round] is a telemetry hook: it is invoked once per executed
     round, after delivery, with the (1-based) round number and the
     cumulative message count — the feed for {!Shades_runtime.Metrics}
-    counters without touching the result type. *)
+    counters without touching the result type.
+
+    [tracer] receives one {!Shades_trace.Event.t} per observable action,
+    in a deterministic order: per node [Advice_read] (then [Decide] +
+    [Halt] for round-0 deciders), then per round [Round_start], every
+    [Send] (vertex- then port-ascending), and per undecided node its
+    [Deliver]s in arrival-port order followed by [Decide]/[Halt] when
+    its output appears.  Re-running the same algorithm on the same
+    graph and advice reproduces the stream exactly — the contract
+    {!Shades_trace.Replay} checks.  [msg_size] measures messages for
+    the [Send]/[Deliver] events' [size] field (default [fun _ -> 0];
+    it must be a pure function of the message for traces to replay). *)
 val run :
   ?max_rounds:int ->
   ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  ?msg_size:('msg -> int) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   ('state, 'msg, 'output) algorithm ->

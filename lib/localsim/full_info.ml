@@ -40,7 +40,11 @@ let algorithm ~rounds_of ~decide =
       (fun st -> if st.target = 0 then Some (decide st.view) else None);
   }
 
-let run_adaptive ?on_round g ~advice ~rounds_of ~decide =
+(* The traced size of a view-exchange message: the node count of the
+   carried view — a pure function of the message, as replay requires. *)
+let msg_size m = View_tree.node_count m.view
+
+let run_adaptive ?on_round ?tracer g ~advice ~rounds_of ~decide =
   let decided = ref None in
   let rounds_of ~advice ~degree =
     let r = rounds_of ~advice ~degree in
@@ -50,12 +54,12 @@ let run_adaptive ?on_round g ~advice ~rounds_of ~decide =
     r
   in
   let result =
-    Engine.run ?on_round g ~advice
+    Engine.run ?on_round ?tracer ~msg_size g ~advice
       (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
   in
   (result.Engine.outputs, result.Engine.rounds)
 
-let run_adaptive_async ?seed ?on_round g ~advice ~rounds_of ~decide =
+let run_adaptive_async ?seed ?on_round ?tracer g ~advice ~rounds_of ~decide =
   let decided = ref None in
   let rounds_of ~advice ~degree =
     let r = rounds_of ~advice ~degree in
@@ -65,7 +69,7 @@ let run_adaptive_async ?seed ?on_round g ~advice ~rounds_of ~decide =
     r
   in
   let result =
-    Async_engine.run ?seed ?on_round g ~advice
+    Async_engine.run ?seed ?on_round ?tracer ~msg_size g ~advice
       (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
   in
   (result.Engine.outputs, result.Engine.rounds)

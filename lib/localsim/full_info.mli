@@ -24,10 +24,12 @@ val run :
     advice and the node's degree before communication starts (all paper
     algorithms derive a common round count from the advice, so the
     values coincide across nodes; this is asserted). Returns decisions
-    and the common round count.  [on_round] is forwarded to
-    {!Engine.run} — per-round telemetry for the sweep runtime. *)
+    and the common round count.  [on_round] and [tracer] are forwarded
+    to {!Engine.run} — per-round telemetry and event tracing for the
+    sweep runtime; traced message sizes are view-tree node counts. *)
 val run_adaptive :
   ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
@@ -41,6 +43,7 @@ val run_adaptive :
 val run_adaptive_async :
   ?seed:int ->
   ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
   Shades_graph.Port_graph.t ->
   advice:Shades_bits.Bitstring.t ->
   rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->

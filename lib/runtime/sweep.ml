@@ -4,6 +4,9 @@ module Verify = Shades_election.Verify
 module Select_by_view = Shades_election.Select_by_view
 module Gclass = Shades_families.Gclass
 module Uclass = Shades_families.Uclass
+module Jclass = Shades_families.Jclass
+module Component = Shades_families.Component
+module Trace = Shades_trace.Trace
 
 type point = (string * int) list
 
@@ -32,7 +35,12 @@ type outcome = {
   verified : bool;
 }
 
-type job = { family : string; params : point; exec : Metrics.t -> outcome }
+type job = {
+  family : string;
+  params : point;
+  cost : int;
+  exec : tracer:(Shades_trace.Event.t -> unit) option -> Metrics.t -> outcome;
+}
 
 let value point name = List.assoc_opt name point
 
@@ -41,15 +49,25 @@ let with_default point name default =
   | Some _ -> point
   | None -> point @ [ (name, default) ]
 
+let ipow base exp =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  if exp < 0 then invalid_arg "Sweep.ipow" else go 1 exp
+
 (* Run [scheme] on [g] through the simulator, collecting the engine's
-   per-round telemetry into [metrics]. *)
-let elect metrics scheme verify g =
+   per-round telemetry into [metrics].  The [round_messages] histogram
+   (messages sent per engine round) is always recorded, tracer or not,
+   so traced and untraced runs of the same job produce byte-identical
+   store records. *)
+let elect ?tracer metrics scheme verify g =
   let messages = ref 0 in
   let on_round ~round:_ ~messages:m =
+    Metrics.observe metrics "round_messages" (float_of_int (m - !messages));
     messages := m;
     Metrics.incr metrics "engine_rounds"
   in
-  let r = Metrics.time metrics "elect" (fun () -> Scheme.run ~on_round scheme g) in
+  let r =
+    Metrics.time metrics "elect" (fun () -> Scheme.run ~on_round ?tracer scheme g)
+  in
   let verified =
     Metrics.time metrics "verify" (fun () ->
         Result.is_ok (verify g r.Scheme.outputs))
@@ -61,6 +79,24 @@ let elect metrics scheme verify g =
     graph_order = Port_graph.order g;
     verified;
   }
+
+(* Projected node counts, used only to order jobs largest-first (the
+   classic longest-processing-time heuristic): they must be cheap and
+   deterministic, not exact.  G_i of G_{∆,k} has (4i−1) blocks of one
+   tree (z leaves, plus internal nodes ≈ z + k) each; the U-class
+   estimate was calibrated against built instances (u(4,1): 468
+   projected vs 450 actual). *)
+let gclass_cost ~delta ~k ~i =
+  let z = (delta - 2) * ipow (delta - 1) (k - 1) in
+  ((4 * i) - 1) * ((3 * z) + k + 2)
+
+let uclass_cost ~delta ~k ~y =
+  let z = (delta - 2) * ipow (delta - 1) (k - 1) in
+  y * ((4 * ((3 * z) + k + 2)) + (2 * (k + 1)) + (2 * (delta - 1) * (k + 1)))
+
+(* Exact, cheap: 2^{z_eff} gadgets, each 4 components sharing ρ. *)
+let jclass_order ~mu ~k ~z_eff =
+  ipow 2 z_eff * ((4 * (Component.size ~mu ~k - 1)) + 1)
 
 let gclass_job point =
   match (value point "delta", value point "k") with
@@ -79,10 +115,11 @@ let gclass_job point =
           {
             family = "g";
             params = point;
+            cost = gclass_cost ~delta ~k ~i;
             exec =
-              (fun metrics ->
+              (fun ~tracer metrics ->
                 let t = Metrics.time metrics "build" (fun () -> Gclass.build p ~i) in
-                elect metrics Select_by_view.scheme Verify.selection
+                elect ?tracer metrics Select_by_view.scheme Verify.selection
                   t.Gclass.graph);
           }
   | _ -> None
@@ -96,30 +133,72 @@ let uclass_job point =
       (* y trees ≈ n/4 nodes each of size Θ(∆k): refuse instances that
          could not be built in memory (u(4,2)'s 19683 trees / 86k nodes
          is the largest instance the repo exercises) *)
-      let buildable =
+      let trees =
         match Uclass.num_trees p with
-        | Some y -> y <= 50_000
-        | None -> false
+        | Some y when y <= 50_000 -> Some y
+        | _ -> None
       in
-      if sigma < 1 || sigma > delta - 1 || not buildable then None
+      if sigma < 1 || sigma > delta - 1 then None
       else
-        Some
-          {
-            family = "u";
-            params = point;
-            exec =
-              (fun metrics ->
-                let t =
-                  Metrics.time metrics "build" (fun () ->
-                      Uclass.build p ~sigma:(Uclass.uniform_sigma p sigma))
-                in
-                elect metrics Uclass.pe_scheme Verify.port_election
-                  t.Uclass.graph);
-          }
+        Option.map
+          (fun y ->
+            {
+              family = "u";
+              params = point;
+              cost = uclass_cost ~delta ~k ~y;
+              exec =
+                (fun ~tracer metrics ->
+                  let t =
+                    Metrics.time metrics "build" (fun () ->
+                        Uclass.build p ~sigma:(Uclass.uniform_sigma p sigma))
+                  in
+                  elect ?tracer metrics Uclass.pe_scheme Verify.port_election
+                    t.Uclass.graph);
+            })
+          trees
+  | _ -> None
+
+let default_max_order = 20_000
+
+let jclass_job ?(max_order = default_max_order) ~metrics point =
+  match (value point "mu", value point "k") with
+  | Some mu, Some k when mu >= 3 && k >= 4 ->
+      let point = with_default point "z_eff" 1 in
+      let z_eff = Option.get (value point "z_eff") in
+      if z_eff < 1 || z_eff > Jclass.z ~mu ~k then None
+      else begin
+        let order = jclass_order ~mu ~k ~z_eff in
+        if order > max_order then begin
+          (* Never skip silently: the chain doubles per z_eff, so a
+             grid routinely strays over budget and the gap must show
+             up in telemetry. *)
+          Metrics.incr metrics "jclass_skipped_max_order";
+          None
+        end
+        else
+          let p = { Jclass.mu; k; z_eff } in
+          Some
+            {
+              family = "j";
+              params = point;
+              cost = order;
+              exec =
+                (fun ~tracer metrics ->
+                  let t =
+                    Metrics.time metrics "build" (fun () ->
+                        Jclass.build p ~y:(Jclass.y_zero p))
+                  in
+                  elect ?tracer metrics (Jclass.cppe_scheme t)
+                    Verify.complete_port_path_election t.Jclass.graph);
+            }
+      end
   | _ -> None
 
 let gclass_jobs points = List.filter_map gclass_job points
 let uclass_jobs points = List.filter_map uclass_job points
+
+let jclass_jobs ?max_order ~metrics points =
+  List.filter_map (jclass_job ?max_order ~metrics) points
 
 (* The smallest honest grid — shared by `sweep --tiny`, `make check`
    and the test suite, so the CI gate exercises exactly this grid. *)
@@ -128,23 +207,63 @@ let tiny_points =
 
 let tiny_jobs () = gclass_jobs tiny_points
 
-let record_of_job job =
+let record_of_job ?tracer job =
   let metrics = Metrics.create () in
   let t0 = Metrics.now_ns () in
-  let outcome = job.exec metrics in
+  let outcome = job.exec ~tracer metrics in
   let wall_ns = Metrics.now_ns () - t0 in
   Metrics.incr ~by:outcome.graph_order metrics "graph_order";
   Metrics.incr ~by:(if outcome.verified then 1 else 0) metrics "verified";
   Metrics.incr ~by:outcome.messages metrics "engine_messages";
-  {
-    Store.params =
-      ("family", Store.Json.String job.family)
-      :: List.map (fun (n, v) -> (n, Store.Json.Int v)) job.params;
-    rounds = outcome.rounds;
-    messages = outcome.messages;
-    advice_bits = outcome.advice_bits;
-    wall_ns;
-    metrics = Metrics.snapshot metrics;
-  }
+  ( {
+      Store.params =
+        ("family", Store.Json.String job.family)
+        :: List.map (fun (n, v) -> (n, Store.Json.Int v)) job.params;
+      rounds = outcome.rounds;
+      messages = outcome.messages;
+      advice_bits = outcome.advice_bits;
+      wall_ns;
+      metrics = Metrics.snapshot metrics;
+    },
+    outcome )
 
-let run ?domains jobs = Pool.map_list ?domains record_of_job jobs
+(* Schedule largest-first (by projected cost) so the big instance is
+   never the straggler picked up last, then put the results back in
+   job-list order — determinism is untouched because Pool.map is
+   input-order-stable and the permutation depends only on the costs. *)
+let run_ordered ?domains f jobs =
+  let jobs = Array.of_list jobs in
+  let order = Array.init (Array.length jobs) Fun.id in
+  Array.sort
+    (fun a b ->
+      match Int.compare jobs.(b).cost jobs.(a).cost with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
+  let results = Pool.map ?domains (fun i -> (i, f jobs.(i))) order in
+  let out = Array.make (Array.length jobs) None in
+  Array.iter (fun (i, r) -> out.(i) <- Some r) results;
+  Array.to_list (Array.map Option.get out)
+
+let run ?domains jobs =
+  run_ordered ?domains (fun job -> fst (record_of_job job)) jobs
+
+let label_of_job job =
+  String.concat ","
+    (job.family :: List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) job.params)
+
+let run_traced ?domains ?capacity jobs =
+  run_ordered ?domains
+    (fun job ->
+      let r = Trace.recorder ?capacity () in
+      let record, outcome = record_of_job ~tracer:(Trace.emit r) job in
+      let meta =
+        {
+          Trace.engine = Trace.Sync;
+          graph_order = outcome.graph_order;
+          advice_bits = outcome.advice_bits;
+          label = label_of_job job;
+        }
+      in
+      (record, Trace.capture r meta))
+    jobs

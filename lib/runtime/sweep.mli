@@ -7,8 +7,9 @@
     builds its family instance, runs the minimum-time scheme through
     the LOCAL simulator (with {!Metrics} telemetry fed by the engine's
     [on_round] hook), and verifies the outputs with the referee-grade
-    checker.  {!run} fans the jobs across domains and returns records
-    in grid order, independent of the domain count. *)
+    checker.  {!run} fans the jobs across domains (scheduling the
+    largest projected instances first) and returns records in grid
+    order, independent of the domain count. *)
 
 type point = (string * int) list
 (** One sweep point: parameter name → value, in axis order. *)
@@ -34,9 +35,16 @@ type outcome = {
 }
 
 type job = {
-  family : string;  (** "g" or "u" — recorded as the [family] param *)
+  family : string;  (** "g", "u" or "j" — recorded as the [family] param *)
   params : point;
-  exec : Metrics.t -> outcome;
+  cost : int;
+      (** projected node count of the instance — the scheduling weight
+          {!run} sorts by (largest first); a cheap deterministic
+          estimate, not a promise *)
+  exec : tracer:(Shades_trace.Event.t -> unit) option -> Metrics.t -> outcome;
+      (** runs the job; [tracer] (if any) receives the engine's event
+          stream and must not change the metrics the job records —
+          {!run} passes [None], {!run_traced} a recorder *)
 }
 
 val gclass_job : point -> job option
@@ -52,10 +60,30 @@ val uclass_job : point -> job option
     also for instances with more than 50 000 trees (|U| grows doubly
     exponentially; those graphs cannot be built in memory). *)
 
+val default_max_order : int
+(** Node budget for {!jclass_job} when [max_order] is omitted
+    (20 000 — J(3,4) fits up to [z_eff = 4]). *)
+
+val jclass_job : ?max_order:int -> metrics:Metrics.t -> point -> job option
+(** Complete Port-Position Election (Lemma 4.8 scheme) on the scaled
+    template [J_{Y=0}] of [J_{µ,k}].  Point keys: [mu] (≥ 3), [k]
+    (≥ 4), optional [z_eff] (default 1, must be in [1..z(µ,k)]).
+    [None] outside the class — and also when the exact instance order
+    [2^{z_eff}·(4(|H|−1)+1)] exceeds [max_order], because the chain
+    doubles per [z_eff]; that skip is never silent: it bumps the
+    [jclass_skipped_max_order] counter of [metrics] (a
+    {e sweep-level} registry, distinct from the per-job registries
+    {!run} creates). *)
+
 val gclass_jobs : point list -> job list
 val uclass_jobs : point list -> job list
 (** Valid jobs for every point of a grid, in grid order (invalid
     points are dropped). *)
+
+val jclass_jobs :
+  ?max_order:int -> metrics:Metrics.t -> point list -> job list
+(** {!jclass_job} over a grid; over-budget skips are tallied in
+    [metrics] as for {!jclass_job}. *)
 
 val tiny_points : point list
 (** The smallest honest grid (Selection on G, ∆ ∈ 3..4, k = 1, i = 2)
@@ -67,9 +95,24 @@ val tiny_jobs : unit -> job list
 
 val run : ?domains:int -> job list -> Store.record list
 (** Execute the jobs on a {!Pool} ([domains] as in {!Pool.map}) and
-    return one record per job, in job-list order.  Each job gets a
-    fresh {!Metrics} registry; its snapshot, the measured
+    return one record per job, in job-list order.  Jobs are handed to
+    the pool largest-[cost]-first (longest-processing-time heuristic)
+    so a big instance never trails as the last pickup; the returned
+    order and every record are unchanged by the scheduling.  Each job
+    gets a fresh {!Metrics} registry; its snapshot, the measured
     rounds/messages/advice bits, [graph_order] and [verified] counters,
     and the job wall-time land in the record.  Records are identical
     across domain counts except for timing fields
     ({!Store.strip_timing}). *)
+
+val run_traced :
+  ?domains:int ->
+  ?capacity:int ->
+  job list ->
+  (Store.record * Shades_trace.Trace.t) list
+(** Like {!run}, but each job additionally records its event stream
+    through a {!Shades_trace.Trace.recorder} of [capacity] (default
+    {!Shades_trace.Trace.default_capacity}) and returns the captured
+    trace next to its record.  Tracing is metrics-neutral: the records
+    are byte-identical to {!run}'s (timing aside), so the regression
+    gate can trace its runs without forking the baseline. *)

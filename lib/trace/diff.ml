@@ -1,0 +1,46 @@
+type divergence = {
+  round : int;
+  vertex : int;
+  left : Event.t option;
+  right : Event.t option;
+}
+
+let normalize (t : Trace.t) =
+  Array.to_list t.Trace.events
+  |> List.filter (fun e -> not (Event.is_sync_marker e))
+  |> List.sort Event.compare
+
+let of_event side e =
+  let round = Event.round e and vertex = Event.vertex e in
+  match side with
+  | `Left -> { round; vertex; left = Some e; right = None }
+  | `Right -> { round; vertex; left = None; right = Some e }
+
+(* Merge walk over the two canonically sorted streams: equal heads
+   advance together, the strictly smaller head is a one-sided event. *)
+let divergences ?(limit = 100) a b =
+  let rec go acc n xs ys =
+    if n = 0 then acc
+    else
+      match (xs, ys) with
+      | [], [] -> acc
+      | x :: xs', [] -> go (of_event `Left x :: acc) (n - 1) xs' []
+      | [], y :: ys' -> go (of_event `Right y :: acc) (n - 1) [] ys'
+      | x :: xs', y :: ys' -> (
+          match Event.compare x y with
+          | 0 -> go acc n xs' ys'
+          | c when c < 0 -> go (of_event `Left x :: acc) (n - 1) xs' ys
+          | _ -> go (of_event `Right y :: acc) (n - 1) xs ys')
+  in
+  List.rev (go [] (max 0 limit) (normalize a) (normalize b))
+
+let first a b =
+  match divergences ~limit:1 a b with [] -> None | d :: _ -> Some d
+
+let pp_divergence d =
+  let side = function
+    | Some e -> Event.to_string e
+    | None -> "nothing"
+  in
+  Printf.sprintf "round %d vertex %d: left has %s, right has %s" d.round
+    d.vertex (side d.left) (side d.right)

@@ -1,0 +1,36 @@
+(** Trace diffing: align two recordings, report the earliest divergence.
+
+    Two traces of the same logical execution need not agree textually:
+    the asynchronous engine interleaves nodes in delivery order and
+    pads every round with synchronizer markers.  {!normalize} maps a
+    trace onto its canonical skeleton — markers dropped, events sorted
+    by {!Event.compare}'s [(round, kind, vertex, payload)] key — on
+    which a synchronous run and any α-synchronizer run of the same
+    algorithm coincide event-for-event.  The diff is then a merge walk
+    of two sorted sequences: every event present on one side only is a
+    divergence, reported earliest-first as [(round, vertex, event)].
+
+    Use it sync-vs-async (markers modulo'd out), async-vs-async across
+    seeds, or same-engine across code versions (the forensic use: two
+    PRs' traces of one sweep point). *)
+
+type divergence = {
+  round : int;
+  vertex : int;
+  left : Event.t option;  (** present in the left trace only *)
+  right : Event.t option;  (** present in the right trace only *)
+}
+
+val normalize : Trace.t -> Event.t list
+(** Non-marker events in canonical order (see above). *)
+
+val divergences : ?limit:int -> Trace.t -> Trace.t -> divergence list
+(** All divergences in canonical order, capped at [limit] (default
+    100).  [[]] means the traces agree modulo synchronizer markers. *)
+
+val first : Trace.t -> Trace.t -> divergence option
+(** The earliest divergence, if any. *)
+
+val pp_divergence : divergence -> string
+(** e.g. ["round 3 vertex 12: left has send r3 v12 p0 (37), right has \
+    nothing"]. *)

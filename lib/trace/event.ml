@@ -1,0 +1,66 @@
+type t =
+  | Round_start of { round : int }
+  | Send of { round : int; v : int; port : int; size : int }
+  | Deliver of { round : int; v : int; port : int; size : int }
+  | Decide of { v : int; round : int }
+  | Halt of { v : int; round : int }
+  | Advice_read of { v : int; bits : int }
+  | Sync_marker of { round : int; v : int; port : int }
+
+let round = function
+  | Round_start { round }
+  | Send { round; _ }
+  | Deliver { round; _ }
+  | Decide { round; _ }
+  | Halt { round; _ }
+  | Sync_marker { round; _ } ->
+      round
+  | Advice_read _ -> 0
+
+let vertex = function
+  | Round_start _ -> -1
+  | Send { v; _ }
+  | Deliver { v; _ }
+  | Decide { v; _ }
+  | Halt { v; _ }
+  | Advice_read { v; _ }
+  | Sync_marker { v; _ } ->
+      v
+
+let is_sync_marker = function Sync_marker _ -> true | _ -> false
+
+let kind_rank = function
+  | Round_start _ -> 0
+  | Advice_read _ -> 1
+  | Send _ -> 2
+  | Deliver _ -> 3
+  | Decide _ -> 4
+  | Halt _ -> 5
+  | Sync_marker _ -> 6
+
+(* The payload fields not already covered by (round, rank, vertex). *)
+let extras = function
+  | Round_start _ | Decide _ | Halt _ -> (0, 0)
+  | Send { port; size; _ } | Deliver { port; size; _ } -> (port, size)
+  | Advice_read { bits; _ } -> (bits, 0)
+  | Sync_marker { port; _ } -> (port, 0)
+
+let compare a b =
+  let key e = (round e, kind_rank e, vertex e, extras e) in
+  Stdlib.compare (key a) (key b)
+
+let equal a b = a = b
+
+let to_string = function
+  | Round_start { round } -> Printf.sprintf "round-start r%d" round
+  | Send { round; v; port; size } ->
+      Printf.sprintf "send r%d v%d p%d (%d)" round v port size
+  | Deliver { round; v; port; size } ->
+      Printf.sprintf "deliver r%d v%d p%d (%d)" round v port size
+  | Decide { v; round } -> Printf.sprintf "decide r%d v%d" round v
+  | Halt { v; round } -> Printf.sprintf "halt r%d v%d" round v
+  | Advice_read { v; bits } -> Printf.sprintf "advice-read v%d (%d bits)" v bits
+  | Sync_marker { round; v; port } ->
+      Printf.sprintf "sync-marker r%d v%d p%d" round v port
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

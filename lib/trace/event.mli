@@ -1,0 +1,56 @@
+(** Typed execution events emitted by the LOCAL simulators.
+
+    One event per observable simulator action, stamped with the
+    (1-based) synchronizer round it belongs to — round 0 is
+    initialization.  Vertex indexes are the oracle-side bookkeeping
+    indexes (the engines' [v]); nodes themselves never see them, so a
+    trace is a referee-side artifact, like the verifiers.
+
+    [Sync_marker] is emitted only by the asynchronous engine: the bare
+    end-of-round marker the α-synchronizer sends on every port where the
+    algorithm itself sent nothing.  Markers are execution scaffolding,
+    not algorithm behaviour — {!Diff.normalize} drops them, which is
+    what makes a synchronous and an asynchronous trace of the same run
+    comparable. *)
+
+type t =
+  | Round_start of { round : int }
+      (** the first node entered (sync: all nodes entered) this round *)
+  | Send of { round : int; v : int; port : int; size : int }
+      (** node [v] emitted a message on its port [port]; [size] is the
+          engine-supplied message measure (0 when unmeasured) *)
+  | Deliver of { round : int; v : int; port : int; size : int }
+      (** a message arrived at node [v] on its own port [port] and was
+          consumed by its round-[round] step *)
+  | Decide of { v : int; round : int }
+      (** node [v]'s output became [Some _] after round [round] *)
+  | Halt of { v : int; round : int }
+      (** node [v] stopped participating (here: at its decision round) *)
+  | Advice_read of { v : int; bits : int }
+      (** node [v] received the advice string at initialization *)
+  | Sync_marker of { round : int; v : int; port : int }
+      (** α-synchronizer end-of-round marker (async engine only) *)
+
+val round : t -> int
+(** The round an event belongs to ([Advice_read] is round 0). *)
+
+val vertex : t -> int
+(** The vertex an event belongs to; [-1] for [Round_start]. *)
+
+val is_sync_marker : t -> bool
+
+val kind_rank : t -> int
+(** Total order on constructors used by {!compare}: [Round_start] <
+    [Advice_read] < [Send] < [Deliver] < [Decide] < [Halt] <
+    [Sync_marker]. *)
+
+val compare : t -> t -> int
+(** Canonical order: by round, then {!kind_rank}, then vertex, then the
+    remaining payload — the order {!Diff} normalizes traces into. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** One compact human-readable token, e.g. [send r3 v12 p0 (37)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type divergence = {
+  index : int;
+  expected : Event.t option;
+  actual : Event.t option;
+}
+
+let location d =
+  match (d.expected, d.actual) with
+  | Some e, _ | None, Some e -> (Event.round e, Event.vertex e)
+  | None, None -> (0, -1)
+
+let pp_divergence d =
+  let round, vertex = location d in
+  let side = function
+    | Some e -> Event.to_string e
+    | None -> "nothing (stream ended)"
+  in
+  Printf.sprintf "event %d (round %d, vertex %d): expected %s, got %s" d.index
+    round vertex (side d.expected) (side d.actual)
+
+exception Diverged of divergence
+
+let run (trace : Trace.t) exec =
+  if trace.Trace.dropped > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Replay.run: trace dropped %d events; only complete traces replay"
+         trace.Trace.dropped);
+  let events = trace.Trace.events in
+  let cursor = ref 0 in
+  let tracer e =
+    let i = !cursor in
+    if i >= Array.length events then
+      raise (Diverged { index = i; expected = None; actual = Some e });
+    if not (Event.equal events.(i) e) then
+      raise (Diverged { index = i; expected = Some events.(i); actual = Some e });
+    cursor := i + 1
+  in
+  match exec tracer with
+  | () ->
+      if !cursor < Array.length events then
+        Error
+          {
+            index = !cursor;
+            expected = Some events.(!cursor);
+            actual = None;
+          }
+      else Ok ()
+  | exception Diverged d -> Error d

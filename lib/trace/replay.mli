@@ -1,0 +1,37 @@
+(** Deterministic replay: re-execute a run against its recorded trace.
+
+    The engines are deterministic (the async one per seed), so
+    re-executing the same algorithm on the same graph with the same
+    advice must reproduce the recorded event stream {e exactly}, in
+    order.  {!run} wires a checking tracer into a re-execution and
+    stops at the first event that disagrees — turning "the outputs
+    differ" into "round 3, node 12, expected [send r3 v12 p0 (37)] but
+    saw [send r3 v12 p1 (37)]".
+
+    A trace whose recorder overflowed ([dropped > 0]) cannot anchor the
+    re-execution to its first event; {!run} rejects it. *)
+
+type divergence = {
+  index : int;  (** position in the recorded event sequence *)
+  expected : Event.t option;  (** recorded; [None] = extra live event *)
+  actual : Event.t option;  (** emitted; [None] = execution ended early *)
+}
+
+val location : divergence -> int * int
+(** [(round, vertex)] of the divergence, taken from the recorded event
+    when present, otherwise from the live one ([vertex] is [-1] for
+    [Round_start]). *)
+
+val pp_divergence : divergence -> string
+(** e.g. ["event 17 (round 3, vertex 12): expected send r3 v12 p0 (37), \
+    got send r3 v12 p1 (37)"]. *)
+
+val run : Trace.t -> ((Event.t -> unit) -> unit) -> (unit, divergence) result
+(** [run trace exec] calls [exec tracer] — [exec] must re-run the
+    recorded execution, passing [tracer] to the engine — and compares
+    every emitted event against [trace.events].  The re-execution is
+    aborted at the first divergent event (via an internal exception the
+    engines do not observe); exceptions other than the internal abort
+    propagate.  [Ok ()] iff the streams are identical and equally
+    long.
+    @raise Invalid_argument if [trace.dropped > 0]. *)

@@ -1,0 +1,124 @@
+type engine = Sync | Async of { seed : int }
+
+type meta = {
+  engine : engine;
+  graph_order : int;
+  advice_bits : int;
+  label : string;
+}
+
+type t = { meta : meta; dropped : int; events : Event.t array }
+
+let engine_to_string = function
+  | Sync -> "sync"
+  | Async { seed } -> Printf.sprintf "async(seed=%d)" seed
+
+(* The ring grows geometrically up to [capacity] and only then starts
+   evicting: a short run never pays for the full buffer. *)
+type recorder = {
+  capacity : int;
+  mutable buf : Event.t array;
+  mutable len : int;  (** filled slots (= Array.length buf once wrapped) *)
+  mutable next : int;  (** write position once the ring is full *)
+  mutable total : int;
+}
+
+let default_capacity = 1_048_576
+
+let dummy = Event.Round_start { round = 0 }
+
+let recorder ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.recorder: capacity must be positive";
+  { capacity; buf = [||]; len = 0; next = 0; total = 0 }
+
+let emit r e =
+  if r.len < r.capacity then begin
+    if r.len = Array.length r.buf then begin
+      let grown =
+        Array.make (min r.capacity (max 256 (2 * Array.length r.buf))) dummy
+      in
+      Array.blit r.buf 0 grown 0 r.len;
+      r.buf <- grown
+    end;
+    r.buf.(r.len) <- e;
+    r.len <- r.len + 1
+  end
+  else begin
+    r.buf.(r.next) <- e;
+    r.next <- (r.next + 1) mod r.capacity
+  end;
+  r.total <- r.total + 1
+
+let total r = r.total
+
+let capture r meta =
+  let events =
+    if r.total <= r.capacity then Array.sub r.buf 0 r.len
+    else Array.init r.capacity (fun i -> r.buf.((r.next + i) mod r.capacity))
+  in
+  { meta; dropped = r.total - Array.length events; events }
+
+type stats = {
+  events : int;
+  dropped : int;
+  rounds : int;
+  sends : int;
+  delivers : int;
+  decides : int;
+  halts : int;
+  advice_reads : int;
+  sync_markers : int;
+  send_size_total : int;
+  max_round : int;
+}
+
+let stats (t : t) =
+  let s =
+    ref
+      {
+        events = Array.length t.events;
+        dropped = t.dropped;
+        rounds = 0;
+        sends = 0;
+        delivers = 0;
+        decides = 0;
+        halts = 0;
+        advice_reads = 0;
+        sync_markers = 0;
+        send_size_total = 0;
+        max_round = 0;
+      }
+  in
+  Array.iter
+    (fun e ->
+      let c = !s in
+      let c = { c with max_round = max c.max_round (Event.round e) } in
+      s :=
+        (match e with
+        | Event.Round_start _ -> { c with rounds = c.rounds + 1 }
+        | Event.Send { size; _ } ->
+            {
+              c with
+              sends = c.sends + 1;
+              send_size_total = c.send_size_total + size;
+            }
+        | Event.Deliver _ -> { c with delivers = c.delivers + 1 }
+        | Event.Decide _ -> { c with decides = c.decides + 1 }
+        | Event.Halt _ -> { c with halts = c.halts + 1 }
+        | Event.Advice_read _ -> { c with advice_reads = c.advice_reads + 1 }
+        | Event.Sync_marker _ -> { c with sync_markers = c.sync_markers + 1 }))
+    t.events;
+  !s
+
+let per_round_sends (t : t) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Event.Send { round; _ } ->
+          Hashtbl.replace tbl round
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl round))
+      | _ -> ())
+    t.events;
+  Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,74 @@
+(** Recorded executions: trace values and the bounded ring-buffer sink.
+
+    A {!t} is what one engine run left behind: metadata identifying the
+    execution (engine kind and seed, graph order, advice length, a free
+    label) plus the event sequence in emission order.  Recording is
+    bounded: a {!recorder} keeps the most recent [capacity] events and
+    counts what it dropped, so tracing a pathological run cannot exhaust
+    memory — a dropped-prefix trace still diffs and replays over its
+    retained suffix (the [dropped] count is stored, never hidden). *)
+
+type engine = Sync | Async of { seed : int }
+
+type meta = {
+  engine : engine;
+  graph_order : int;
+  advice_bits : int;
+  label : string;  (** free-form: scheme name, family point, ... *)
+}
+
+type t = {
+  meta : meta;
+  dropped : int;  (** events that overflowed the recorder's capacity *)
+  events : Event.t array;  (** emission order; oldest retained first *)
+}
+
+val engine_to_string : engine -> string
+(** ["sync"] or ["async(seed=N)"]. *)
+
+(** {1 Recording} *)
+
+type recorder
+
+val default_capacity : int
+(** [1_048_576] events — far above any instance this repo builds. *)
+
+val recorder : ?capacity:int -> unit -> recorder
+(** A fresh bounded sink.  [capacity] (default {!default_capacity})
+    must be positive; once full, each new event evicts the oldest. *)
+
+val emit : recorder -> Event.t -> unit
+(** The function to hand to an engine's [?tracer] hook (partially
+    applied: [Trace.emit r]). *)
+
+val total : recorder -> int
+(** Events emitted so far, including dropped ones. *)
+
+val capture : recorder -> meta -> t
+(** Freeze the retained events into a trace.  The recorder stays
+    usable; capturing twice without intervening emits yields equal
+    traces. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  events : int;  (** retained events *)
+  dropped : int;
+  rounds : int;  (** number of [Round_start] events *)
+  sends : int;
+  delivers : int;
+  decides : int;
+  halts : int;
+  advice_reads : int;
+  sync_markers : int;
+  send_size_total : int;  (** sum of [Send] sizes *)
+  max_round : int;
+}
+
+val stats : t -> stats
+
+val per_round_sends : t -> (int * int) list
+(** [(round, sends in that round)] for every round with at least one
+    [Send], ascending — the per-round summary the sweep runtime feeds
+    into {!Metrics} histograms (it coincides with the engine's
+    [on_round] message deltas). *)

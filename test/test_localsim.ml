@@ -151,24 +151,37 @@ let test_on_round_hook () =
   Alcotest.(check int) "hook total = result total" result.Engine.messages 30
 
 let test_async_on_round_hook () =
-  let g = Gen.oriented_ring 5 in
-  let rounds_seen = ref [] in
-  let result =
-    Async_engine.run
-      ~on_round:(fun ~round ~messages:_ -> rounds_seen := round :: !rounds_seen)
-      g ~advice:no_advice (countdown 3)
-  in
-  Alcotest.(check int) "rounds" 3 result.Engine.rounds;
-  (* the frontier may overshoot the decision round by a little (early
-     finishers keep emitting markers), but each round is reported once,
-     in increasing order, and rounds 1..3 all appear *)
-  let seen = List.rev !rounds_seen in
-  Alcotest.(check bool)
-    "reported once each, increasing" true
-    (List.sort_uniq compare seen = seen);
-  Alcotest.(check bool)
-    "rounds 1..3 all reported" true
-    (List.for_all (fun r -> List.mem r seen) [ 1; 2; 3 ])
+  (* The hook fires on the first undecided step of each round, so the
+     reported rounds are exactly the synchronous engine's 1..R — no
+     overshoot from decided nodes' marker-only round completions — and
+     the cumulative message counts never decrease. *)
+  List.iter
+    (fun seed ->
+      let g = Gen.oriented_ring 5 in
+      let seen = ref [] in
+      let result =
+        Async_engine.run ~seed
+          ~on_round:(fun ~round ~messages -> seen := (round, messages) :: !seen)
+          g ~advice:no_advice (countdown 3)
+      in
+      Alcotest.(check int) "rounds" 3 result.Engine.rounds;
+      let seen = List.rev !seen in
+      Alcotest.(check (list int))
+        (Printf.sprintf "rounds exactly 1..3, once each, in order (seed %d)"
+           seed)
+        [ 1; 2; 3 ] (List.map fst seen);
+      let messages = List.map snd seen in
+      Alcotest.(check bool)
+        (Printf.sprintf "cumulative messages monotone (seed %d)" seed)
+        true
+        (List.for_all2 ( <= ) messages (List.tl messages @ [ max_int ]));
+      Alcotest.(check bool)
+        (Printf.sprintf "counts within the run total (seed %d)" seed)
+        true
+        (List.for_all
+           (fun m -> m >= 0 && m <= result.Engine.messages)
+           messages))
+    [ 0; 1; 2; 17 ]
 
 (* The full-information protocol must reconstruct exactly B^r. *)
 

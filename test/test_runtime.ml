@@ -499,10 +499,102 @@ let test_sweep_records_verified () =
       | Some (Metrics.Counter 1) -> ()
       | _ -> Alcotest.fail "a sweep point failed verification");
       Alcotest.(check bool) "messages measured" true (r.Store.messages > 0);
-      match Store.metric r "engine_rounds" with
+      (match Store.metric r "engine_rounds" with
       | Some (Metrics.Counter c) -> Alcotest.(check int) "hook rounds" r.Store.rounds c
-      | _ -> Alcotest.fail "engine_rounds counter missing")
+      | _ -> Alcotest.fail "engine_rounds counter missing");
+      (* the per-round message histogram is always on: one observation
+         per engine round, totalling the run's message count *)
+      match Store.metric r "round_messages" with
+      | Some (Metrics.Histogram h) ->
+          Alcotest.(check int) "one observation per round" r.Store.rounds
+            h.Metrics.count;
+          Alcotest.(check (float 0.0)) "observations sum to messages"
+            (float_of_int r.Store.messages)
+            h.Metrics.sum
+      | _ -> Alcotest.fail "round_messages histogram missing")
     records
+
+let test_jclass_jobs_guard () =
+  let metrics = Metrics.create () in
+  let points =
+    Sweep.cross
+      [
+        Sweep.axis "mu" [ 3 ]; Sweep.axis "k" [ 4 ];
+        Sweep.axis "z_eff" [ 1; 2; 3 ];
+      ]
+  in
+  (* all three fit the default budget; z_eff doubles the order *)
+  let jobs = Sweep.jclass_jobs ~metrics points in
+  Alcotest.(check int) "all points within default budget" 3 (List.length jobs);
+  Alcotest.(check (list int)) "cost doubles with z_eff"
+    [ 2 * List.hd (List.map (fun j -> j.Sweep.cost) jobs);
+      2 * List.nth (List.map (fun j -> j.Sweep.cost) jobs) 1 ]
+    (List.tl (List.map (fun j -> j.Sweep.cost) jobs));
+  let skipped () =
+    match List.assoc_opt "jclass_skipped_max_order" (Metrics.snapshot metrics) with
+    | Some (Metrics.Counter c) -> c
+    | _ -> 0
+  in
+  Alcotest.(check int) "nothing skipped yet" 0 (skipped ());
+  (* a tight budget drops the larger points — tallied, never silent *)
+  let tight = Sweep.jclass_jobs ~max_order:500 ~metrics points in
+  Alcotest.(check int) "only z_eff=1 fits 500 nodes" 1 (List.length tight);
+  Alcotest.(check int) "both skips tallied" 2 (skipped ());
+  (* invalid points are rejections, not skips: no tally *)
+  Alcotest.(check bool) "mu too small rejected" true
+    (Sweep.jclass_job ~metrics [ ("mu", 2); ("k", 4) ] = None);
+  Alcotest.(check bool) "k too small rejected" true
+    (Sweep.jclass_job ~metrics [ ("mu", 3); ("k", 3) ] = None);
+  Alcotest.(check bool) "z_eff beyond z rejected" true
+    (Sweep.jclass_job ~metrics [ ("mu", 3); ("k", 4); ("z_eff", 99) ] = None);
+  Alcotest.(check int) "rejections never counted as skips" 2 (skipped ())
+
+let test_jclass_job_runs () =
+  (* The smallest J point really elects: Lemma 4.8's CPPE scheme passes
+     the complete port-path verifier in exactly k rounds. *)
+  let metrics = Metrics.create () in
+  match Sweep.jclass_job ~metrics [ ("mu", 3); ("k", 4) ] with
+  | None -> Alcotest.fail "smallest J point rejected"
+  | Some job ->
+      Alcotest.(check string) "family" "j" job.Sweep.family;
+      let m = Metrics.create () in
+      let outcome = job.Sweep.exec ~tracer:None m in
+      Alcotest.(check bool) "verified" true outcome.Sweep.verified;
+      Alcotest.(check int) "minimum time: k rounds" 4 outcome.Sweep.rounds;
+      Alcotest.(check int) "cost is the exact order" outcome.Sweep.graph_order
+        job.Sweep.cost
+
+let test_largest_first_is_invisible () =
+  (* Scheduling by cost must not leak into results: a job list in
+     ascending cost order returns records in that same list order, with
+     the same bytes as a single-domain run. *)
+  let jobs = determinism_jobs () in
+  let ascending = List.sort (fun a b -> compare a.Sweep.cost b.Sweep.cost) jobs in
+  let params_of records = List.map (fun r -> r.Store.params) records in
+  let seq = Sweep.run ~domains:1 ascending in
+  let par = Sweep.run ~domains:4 ascending in
+  Alcotest.(check bool) "records in job-list order" true
+    (params_of seq = params_of par);
+  Alcotest.(check string) "byte-identical modulo timing"
+    (canonical (Store.make seq))
+    (canonical (Store.make par))
+
+let test_run_traced_neutral () =
+  let jobs = Sweep.tiny_jobs () in
+  let plain = Sweep.run ~domains:2 jobs in
+  let traced = Sweep.run_traced ~domains:2 jobs in
+  Alcotest.(check string) "tracing never changes the records"
+    (canonical (Store.make plain))
+    (canonical (Store.make (List.map fst traced)));
+  List.iter2
+    (fun r (_, t) ->
+      let s = Shades_trace.Trace.stats t in
+      Alcotest.(check int) "trace sends = record messages" r.Store.messages
+        s.Shades_trace.Trace.sends;
+      Alcotest.(check int) "sync capture" 0 s.Shades_trace.Trace.sync_markers;
+      Alcotest.(check bool) "meta carries the point" true
+        (t.Shades_trace.Trace.meta.Shades_trace.Trace.label <> ""))
+    plain traced
 
 let () =
   Alcotest.run "shades_runtime"
@@ -557,5 +649,12 @@ let () =
             test_sweep_deterministic_across_domains;
           Alcotest.test_case "records verified + telemetry" `Slow
             test_sweep_records_verified;
+          Alcotest.test_case "jclass budget guard" `Quick
+            test_jclass_jobs_guard;
+          Alcotest.test_case "jclass point elects" `Slow test_jclass_job_runs;
+          Alcotest.test_case "largest-first scheduling invisible" `Slow
+            test_largest_first_is_invisible;
+          Alcotest.test_case "run_traced metrics-neutral" `Quick
+            test_run_traced_neutral;
         ] );
     ]
