@@ -7,8 +7,12 @@ SMOKE_OUT ?= /tmp/shades_smoke_sweep.json
 # when the gate fails, the traces say exactly which (round, vertex,
 # event) moved (`shades_cli trace diff` against a known-good run).
 SMOKE_TRACES ?= /tmp/shades_smoke_traces
+# Where `trace gate` writes its JSON divergence report.  CI overrides
+# this to a workspace path so a failing gate uploads the report as an
+# artifact.
+GATE_REPORT ?= /tmp/shades_gate_report.json
 
-.PHONY: all check build test smoke sweep bless bench clean
+.PHONY: all check build test smoke sweep bless doc bench clean
 
 all: check
 
@@ -18,17 +22,24 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: full build, full test suite, and the tiny-grid smoke
+# The tier-1 gate: full build, full test suite, the tiny-grid smoke
 # sweep compared --strict against the committed sharded baseline
 # (BENCH_tiny/) — any changed rounds/messages/advice, or any grid-shape
-# change, exits nonzero.  Intentional changes go through `make bless`.
-# Tracing is metrics-neutral, so recording never perturbs the gate.
+# change, exits nonzero — and the trace-forensics gate: the same grid's
+# execution traces compared against the blessed baselines in
+# BENCH_tiny/traces/, failing with the first divergent (round, vertex,
+# event) per drifted job (exit 1 divergent, 2 unreadable baseline).
+# Intentional changes go through `make bless`.  Tracing is
+# metrics-neutral, so recording never perturbs the measurement gate.
 check:
 	dune build @all
 	dune runtest
 	@mkdir -p $(dir $(SMOKE_OUT))
 	dune exec bin/shades_cli.exe -- sweep --tiny -o $(SMOKE_OUT) \
 	    --trace-out $(SMOKE_TRACES) --compare BENCH_tiny --strict
+	@mkdir -p $(dir $(GATE_REPORT))
+	dune exec bin/shades_cli.exe -- trace gate -b BENCH_tiny/traces \
+	    --json $(GATE_REPORT)
 
 smoke:
 	@mkdir -p $(dir $(SMOKE_OUT))
@@ -38,11 +49,29 @@ smoke:
 sweep:
 	dune exec bin/shades_cli.exe -- sweep --family both --sharded -o BENCH_sweep
 
-# The explicit policy for intentionally changed numbers: regenerate both
-# committed baselines (the full sweep and the tiny CI gate), then commit
-# the new shards + manifests alongside the change that moved them.
+# The explicit policy for intentionally changed numbers or behaviour:
+# regenerate every committed baseline in one shot — the full sweep, the
+# tiny CI measurement gate, AND the blessed tiny-grid traces — then
+# commit the new shards + manifests + .shtr files alongside the change
+# that moved them.  Regenerating them together keeps the measurement
+# and forensics gates telling the same story; `trace bless` only
+# rewrites trace files whose digest actually changed.
 bless: sweep
 	dune exec bin/shades_cli.exe -- sweep --tiny --sharded -o BENCH_tiny
+	dune exec bin/shades_cli.exe -- trace bless -b BENCH_tiny/traces
+
+# Build the odoc API reference for the public libraries (landing at
+# _build/default/_doc/_html/index.html).  The container used for local
+# development may lack odoc; that is a polite skip here, while the CI
+# docs job installs odoc and builds @doc with warnings-as-errors for
+# lib/trace, lib/runtime and lib/localsim.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	    dune build @doc && \
+	    echo "API reference: _build/default/_doc/_html/index.html"; \
+	else \
+	    echo "odoc not installed — skipping (CI builds the docs; try 'opam install odoc')"; \
+	fi
 
 bench:
 	dune exec bench/main.exe

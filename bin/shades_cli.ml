@@ -336,7 +336,7 @@ let sweep_cmd =
       match trace_out with
       | None -> Sweep.run ~domains jobs
       | Some dir ->
-          let traced = Sweep.run_traced ~domains jobs in
+          let traced, _ = Sweep.run_traced ~domains jobs in
           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
           List.iteri
             (fun idx (_, tr) ->
@@ -443,7 +443,8 @@ let sweep_cmd =
       value & opt string "g"
       & info [ "family" ] ~docv:"FAM"
           ~doc:"Family to sweep: g (Selection on G), u (Port Election on U), \
-                or both.")
+                j (Complete Port-Position Election on scaled J), both (g and \
+                u), or all.")
   in
   let range_arg name default_lo default_hi =
     ( Arg.(
@@ -554,6 +555,23 @@ module Codec = Shades_trace.Codec
 module Replay = Shades_trace.Replay
 module Tdiff = Shades_trace.Diff
 module Event = Shades_trace.Event
+module Baseline = Shades_trace.Baseline
+
+let plural n = if n = 1 then "" else "s"
+
+(* The trace subcommands' exit codes are part of their contract (the
+   Makefile and CI distinguish divergence from decode failure): 0 =
+   identical / success, 1 = divergent, 2 = a trace, manifest or
+   baseline file could not be read or decoded. *)
+let trace_exits =
+  [
+    Cmdliner.Cmd.Exit.info 0 ~doc:"on success (traces agree / gate clean).";
+    Cmdliner.Cmd.Exit.info 1 ~doc:"on divergence (including grid-shape drift).";
+    Cmdliner.Cmd.Exit.info 2
+      ~doc:"when a trace, manifest or baseline file cannot be read or decoded.";
+    Cmdliner.Cmd.Exit.info 124 ~doc:"on command line parsing errors.";
+    Cmdliner.Cmd.Exit.info 125 ~doc:"on unexpected internal errors (bugs).";
+  ]
 
 (* One execution of [task] on [g] under [engine], as the thunk shape
    {!Replay.run} consumes.  `trace record` stores "task graph-spec" in
@@ -575,7 +593,10 @@ let trace_exec ~task ~engine g =
 let load_trace path =
   match Codec.read ~path with
   | Ok t -> t
-  | Error e -> failwith (path ^ ": " ^ e)
+  | Error e ->
+      (* decode failures exit 2, distinct from divergence's 1 *)
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2
 
 let trace_file_arg =
   Arg.(
@@ -613,11 +634,12 @@ let trace_record_cmd =
     let s = Trace.stats trace in
     Printf.printf
       "wrote %s: %s, n=%d, %d advice bits, %d events (%d dropped), %d \
-       rounds, %d sends, %d sync markers\n"
+       round%s, %d sends, %d sync markers\n"
       out
       (Trace.engine_to_string engine)
       trace.Trace.meta.Trace.graph_order advice_bits s.Trace.events
-      s.Trace.dropped s.Trace.rounds s.Trace.sends s.Trace.sync_markers
+      s.Trace.dropped s.Trace.rounds (plural s.Trace.rounds) s.Trace.sends
+      s.Trace.sync_markers
   in
   let async_arg =
     Arg.(
@@ -687,7 +709,7 @@ let trace_replay_cmd =
         exit 1
   in
   Cmd.v
-    (Cmd.info "replay"
+    (Cmd.info "replay" ~exits:trace_exits
        ~doc:
          "Re-execute a recorded run and fail on the first event that \
           differs from the trace.")
@@ -721,10 +743,12 @@ let trace_diff_cmd =
       & info [ "limit" ] ~docv:"N" ~doc:"Report at most N divergences.")
   in
   Cmd.v
-    (Cmd.info "diff"
+    (Cmd.info "diff" ~exits:trace_exits
        ~doc:
          "Align two traces (synchronizer markers modulo'd out) and report \
-          the earliest divergences as (round, vertex, event).")
+          the earliest divergences as (round, vertex, event).  Exits 0 when \
+          the traces agree, 1 on divergence, 2 when a file cannot be \
+          decoded.")
     Term.(const run $ left_arg $ right_arg $ limit_arg)
 
 let trace_stats_cmd =
@@ -760,13 +784,126 @@ let trace_stats_cmd =
     (Cmd.info "stats" ~doc:"Summarize a recorded trace.")
     Term.(const run $ trace_file_arg)
 
+(* bless/gate share the tiny-grid runner: both re-record the grid with
+   the same job keys, so what `gate` compares is exactly what `bless`
+   committed. *)
+let baseline_dir_arg =
+  Arg.(
+    value & opt string "BENCH_tiny/traces"
+    & info [ "b"; "baseline" ] ~docv:"DIR"
+        ~doc:"Blessed-trace store directory (one .shtr file per tiny-grid \
+              job plus a digest manifest).")
+
+let trace_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains (default: recommended count minus one).  The \
+              traces carry no wall-clock data, so the domain count never \
+              changes what gets blessed or gated.")
+
+let trace_bless_cmd =
+  let run dir domains =
+    let open Shades_runtime in
+    let domains =
+      match domains with Some d -> d | None -> Pool.default_domains ()
+    in
+    let jobs = Sweep.tiny_jobs () in
+    let traced, _ = Sweep.run_traced ~domains jobs in
+    let keyed =
+      List.map2 (fun job (_, tr) -> (Sweep.key_of_job job, tr)) jobs traced
+    in
+    let m = Baseline.save ~dir keyed in
+    Printf.printf "blessed %d baseline trace%s into %s/ (format v%d)\n"
+      (List.length m.Baseline.entries)
+      (plural (List.length m.Baseline.entries))
+      dir m.Baseline.version;
+    List.iter
+      (fun e ->
+        Printf.printf "  %s  %s (%d event%s)\n" e.Baseline.digest
+          e.Baseline.key e.Baseline.events (plural e.Baseline.events))
+      m.Baseline.entries
+  in
+  Cmd.v
+    (Cmd.info "bless"
+       ~doc:
+         "Re-record the tiny grid and commit its traces as the blessed \
+          baselines that $(b,trace gate) (and 'make check') compare \
+          against.  Unchanged traces are left untouched on disk.")
+    Term.(const run $ baseline_dir_arg $ trace_domains_arg)
+
+let trace_gate_cmd =
+  let run dir json_out domains =
+    let open Shades_runtime in
+    let domains =
+      match domains with Some d -> d | None -> Pool.default_domains ()
+    in
+    let jobs = Sweep.tiny_jobs () in
+    let _, report = Sweep.run_traced ~domains ~baseline:dir jobs in
+    match report with
+    | None | Some (Error _) ->
+        (match report with
+        | Some (Error e) -> Printf.eprintf "trace gate: %s\n" e
+        | _ -> Printf.eprintf "trace gate: no report produced\n");
+        exit 2
+    | Some (Ok r) -> (
+        Option.iter
+          (fun path ->
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc
+                  (Shades_json.Json.to_string (Baseline.report_to_json r));
+                output_char oc '\n');
+            Printf.printf "wrote divergence report to %s\n" path)
+          json_out;
+        if Baseline.clean r then
+          Printf.printf
+            "trace gate: %d job%s identical to the blessed baselines in %s/\n"
+            (List.length r.Baseline.jobs)
+            (plural (List.length r.Baseline.jobs))
+            dir
+        else begin
+          List.iter prerr_endline (Baseline.pp_report r);
+          Printf.eprintf "trace gate: FAILED against %s/\n" dir;
+          (* unreadable baselines are an infrastructure failure (2),
+             not a behavioural divergence (1) *)
+          exit (if Baseline.has_corrupt r then 2 else 1)
+        end)
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the full report as JSON to FILE (the CI \
+                divergence artifact).")
+  in
+  Cmd.v
+    (Cmd.info "gate" ~exits:trace_exits
+       ~doc:
+         "Re-record the tiny grid and compare every trace against the \
+          blessed baselines, failing with the first divergent (round, \
+          vertex, event) per drifted job.  Unchanged traces are skipped by \
+          digest without decoding.")
+    Term.(const run $ baseline_dir_arg $ json_arg $ trace_domains_arg)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
        ~doc:
          "Record, replay, diff and summarize execution traces of the LOCAL \
-          simulator.")
-    [ trace_record_cmd; trace_replay_cmd; trace_diff_cmd; trace_stats_cmd ]
+          simulator — and bless/gate the tiny grid's baseline traces.")
+    [
+      trace_record_cmd;
+      trace_replay_cmd;
+      trace_diff_cmd;
+      trace_stats_cmd;
+      trace_bless_cmd;
+      trace_gate_cmd;
+    ]
 
 (* --- families --- *)
 

@@ -1,0 +1,35 @@
+(** Minimal JSON tree with a deterministic printer and a strict parser.
+
+    Exactly what this repository's on-disk formats need, nothing more:
+    the results store ([Shades_runtime.Store]), its sharded manifest,
+    the blessed-trace manifest ([Shades_trace.Baseline]), and the
+    machine-readable gate reports all speak through this module, so the
+    three formats stay mutually consistent by construction.
+
+    The printer is deterministic — object members keep their given
+    order and equal trees render byte-identically — which is what lets
+    every store digest be computed over a canonical encoding. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** member order is preserved *)
+
+val to_string : t -> string
+(** Compact rendering; object members keep their given order, so equal
+    trees render byte-identically.
+    @raise Invalid_argument on a non-finite [Float] — such values have
+    no JSON spelling and never arise from the data we store. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value ([Error] carries a position message).
+    Numbers without [./e/E] decode as [Int], others as [Float]; integer
+    syntax overflowing the native [int] range falls back to [Float].
+    Trailing garbage after the value is an error. *)
+
+val member : string -> t -> t option
+(** Object member lookup ([None] on absent key or non-object). *)

@@ -47,7 +47,7 @@ exception Did_not_terminate of int
 
     [on_round] is a telemetry hook: it is invoked once per executed
     round, after delivery, with the (1-based) round number and the
-    cumulative message count — the feed for {!Shades_runtime.Metrics}
+    cumulative message count — the feed for [Shades_runtime.Metrics]
     counters without touching the result type.
 
     [tracer] receives one {!Shades_trace.Event.t} per observable action,

@@ -30,6 +30,7 @@ type value =
   | Timing of { count : int; total_ns : int }
 
 val create : unit -> t
+(** A fresh empty registry. *)
 
 val incr : ?by:int -> t -> string -> unit
 (** Bump counter [name] by [by] (default 1), creating it at 0. *)

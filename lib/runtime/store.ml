@@ -1,255 +1,4 @@
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
-
-  (* Shortest float rendering that round-trips; "%.17g" only when the
-     12-digit form loses precision.  Non-finite values have no JSON
-     spelling and never arise from the metrics we store. *)
-  let float_to_string f =
-    if not (Float.is_finite f) then
-      invalid_arg "Store.Json: non-finite float";
-    let short = Printf.sprintf "%.12g" f in
-    if float_of_string short = f then short else Printf.sprintf "%.17g" f
-
-  let escape_to buf s =
-    Buffer.add_char buf '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.add_char buf '"'
-
-  let rec write buf = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f -> Buffer.add_string buf (float_to_string f)
-    | String s -> escape_to buf s
-    | List items ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i item ->
-            if i > 0 then Buffer.add_char buf ',';
-            write buf item)
-          items;
-        Buffer.add_char buf ']'
-    | Obj members ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (name, item) ->
-            if i > 0 then Buffer.add_char buf ',';
-            escape_to buf name;
-            Buffer.add_char buf ':';
-            write buf item)
-          members;
-        Buffer.add_char buf '}'
-
-  let to_string t =
-    let buf = Buffer.create 256 in
-    write buf t;
-    Buffer.contents buf
-
-  exception Parse_error of string
-
-  let of_string s =
-    let pos = ref 0 in
-    let len = String.length s in
-    let fail msg =
-      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
-    in
-    let peek () = if !pos < len then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let skip_ws () =
-      while
-        !pos < len
-        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-      do
-        advance ()
-      done
-    in
-    let expect c =
-      if !pos < len && s.[!pos] = c then advance ()
-      else fail (Printf.sprintf "expected '%c'" c)
-    in
-    let keyword word value =
-      if
-        !pos + String.length word <= len
-        && String.sub s !pos (String.length word) = word
-      then begin
-        pos := !pos + String.length word;
-        value
-      end
-      else fail ("expected " ^ word)
-    in
-    let utf8_of_code buf u =
-      (* enough for the BMP, which is all \uXXXX can express *)
-      if u < 0x80 then Buffer.add_char buf (Char.chr u)
-      else if u < 0x800 then begin
-        Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
-        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
-      end
-      else begin
-        Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
-      end
-    in
-    let parse_string () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec loop () =
-        if !pos >= len then fail "unterminated string";
-        let c = s.[!pos] in
-        advance ();
-        if c = '"' then Buffer.contents buf
-        else if c = '\\' then begin
-          (if !pos >= len then fail "unterminated escape";
-           let e = s.[!pos] in
-           advance ();
-           match e with
-           | '"' -> Buffer.add_char buf '"'
-           | '\\' -> Buffer.add_char buf '\\'
-           | '/' -> Buffer.add_char buf '/'
-           | 'b' -> Buffer.add_char buf '\b'
-           | 'f' -> Buffer.add_char buf '\012'
-           | 'n' -> Buffer.add_char buf '\n'
-           | 'r' -> Buffer.add_char buf '\r'
-           | 't' -> Buffer.add_char buf '\t'
-           | 'u' ->
-               if !pos + 4 > len then fail "truncated \\u escape";
-               let hex = String.sub s !pos 4 in
-               pos := !pos + 4;
-               let u =
-                 try int_of_string ("0x" ^ hex)
-                 with _ -> fail "bad \\u escape"
-               in
-               utf8_of_code buf u
-           | _ -> fail "unknown escape");
-          loop ()
-        end
-        else begin
-          Buffer.add_char buf c;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let parse_number () =
-      let start = !pos in
-      let is_num_char c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < len && is_num_char s.[!pos] do
-        advance ()
-      done;
-      let text = String.sub s start (!pos - start) in
-      let is_float =
-        String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
-      in
-      if is_float then
-        match float_of_string_opt text with
-        | Some f -> Float f
-        | None -> fail "bad number"
-      else
-        match int_of_string_opt text with
-        | Some i -> Int i
-        | None -> (
-            (* integer syntax overflowing the native int range *)
-            match float_of_string_opt text with
-            | Some f -> Float f
-            | None -> fail "bad number")
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' -> parse_obj ()
-      | Some '[' -> parse_list ()
-      | Some '"' -> String (parse_string ())
-      | Some 't' -> keyword "true" (Bool true)
-      | Some 'f' -> keyword "false" (Bool false)
-      | Some 'n' -> keyword "null" Null
-      | Some ('-' | '0' .. '9') -> parse_number ()
-      | _ -> fail "value expected"
-    and parse_obj () =
-      expect '{';
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let members = ref [] in
-        let rec member () =
-          skip_ws ();
-          let name = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          members := (name, v) :: !members;
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              advance ();
-              member ()
-          | Some '}' -> advance ()
-          | _ -> fail "expected ',' or '}'"
-        in
-        member ();
-        Obj (List.rev !members)
-      end
-    and parse_list () =
-      expect '[';
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        List []
-      end
-      else begin
-        let items = ref [] in
-        let rec item () =
-          let v = parse_value () in
-          items := v :: !items;
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-              advance ();
-              item ()
-          | Some ']' -> advance ()
-          | _ -> fail "expected ',' or ']'"
-        in
-        item ();
-        List (List.rev !items)
-      end
-    in
-    match
-      let v = parse_value () in
-      skip_ws ();
-      if !pos <> len then fail "trailing garbage";
-      v
-    with
-    | v -> Ok v
-    | exception Parse_error msg -> Error msg
-
-  let member name = function
-    | Obj members -> List.assoc_opt name members
-    | _ -> None
-end
+module Json = Shades_json.Json
 
 let schema_version = 2
 

@@ -13,30 +13,10 @@
     two encodings of the same sweep are byte-identical regardless of
     the domain count that produced them. *)
 
-module Json : sig
-  (** Minimal JSON tree with a deterministic printer and a strict
-      parser — exactly what the store format needs, nothing more. *)
-
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list  (** member order is preserved *)
-
-  val to_string : t -> string
-  (** Compact rendering; object members keep their given order, so
-      equal trees render byte-identically. *)
-
-  val of_string : string -> (t, string) result
-  (** Parse one JSON value ([Error] carries a position message).
-      Numbers without [./e/E] decode as [Int], others as [Float]. *)
-
-  val member : string -> t -> t option
-  (** Object member lookup ([None] on absent key or non-object). *)
-end
+module Json = Shades_json.Json
+(** The shared JSON substrate ({!Shades_json.Json}), re-exported under
+    its historical path — every store, manifest and report codec in the
+    repository speaks this one dialect. *)
 
 val schema_version : int
 (** Current record-layout version (bump on any layout change). *)

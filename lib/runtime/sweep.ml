@@ -252,18 +252,30 @@ let label_of_job job =
   String.concat ","
     (job.family :: List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) job.params)
 
-let run_traced ?domains ?capacity jobs =
-  run_ordered ?domains
-    (fun job ->
-      let r = Trace.recorder ?capacity () in
-      let record, outcome = record_of_job ~tracer:(Trace.emit r) job in
-      let meta =
-        {
-          Trace.engine = Trace.Sync;
-          graph_order = outcome.graph_order;
-          advice_bits = outcome.advice_bits;
-          label = label_of_job job;
-        }
-      in
-      (record, Trace.capture r meta))
-    jobs
+let key_of_job job = Shades_trace.Baseline.key_of_label (label_of_job job)
+
+let run_traced ?domains ?capacity ?baseline jobs =
+  let traced =
+    run_ordered ?domains
+      (fun job ->
+        let r = Trace.recorder ?capacity () in
+        let record, outcome = record_of_job ~tracer:(Trace.emit r) job in
+        let meta =
+          {
+            Trace.engine = Trace.Sync;
+            graph_order = outcome.graph_order;
+            advice_bits = outcome.advice_bits;
+            label = label_of_job job;
+          }
+        in
+        (record, Trace.capture r meta))
+      jobs
+  in
+  let report =
+    Option.map
+      (fun dir ->
+        Shades_trace.Baseline.gate ~dir
+          (List.map2 (fun job (_, tr) -> (key_of_job job, tr)) jobs traced))
+      baseline
+  in
+  (traced, report)

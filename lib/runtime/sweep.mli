@@ -105,14 +105,36 @@ val run : ?domains:int -> job list -> Store.record list
     across domain counts except for timing fields
     ({!Store.strip_timing}). *)
 
+val label_of_job : job -> string
+(** Human-readable job identity, e.g. ["g,delta=3,k=1,i=2"] — the
+    family followed by the point's parameters in axis order.  Stored as
+    each captured trace's [label]. *)
+
+val key_of_job : job -> string
+(** {!label_of_job} passed through
+    {!Shades_trace.Baseline.key_of_label}: the stable key under which
+    the job's blessed baseline trace is filed.  [trace bless], [trace
+    gate] and {!run_traced}'s [~baseline] mode all derive keys through
+    this one function, so they agree across processes and PRs. *)
+
 val run_traced :
   ?domains:int ->
   ?capacity:int ->
+  ?baseline:string ->
   job list ->
   (Store.record * Shades_trace.Trace.t) list
+  * (Shades_trace.Baseline.report, string) result option
 (** Like {!run}, but each job additionally records its event stream
     through a {!Shades_trace.Trace.recorder} of [capacity] (default
     {!Shades_trace.Trace.default_capacity}) and returns the captured
     trace next to its record.  Tracing is metrics-neutral: the records
     are byte-identical to {!run}'s (timing aside), so the regression
-    gate can trace its runs without forking the baseline. *)
+    gate can trace its runs without forking the baseline.
+
+    @param baseline compare mode: a blessed-trace store directory (see
+    {!Shades_trace.Baseline}).  When given, every captured trace is
+    gated against it under the job's {!key_of_job} and the second
+    component carries the outcome: [Some (Ok report)] with the per-job
+    verdicts (first divergent [(round, vertex, event)] for each
+    drifted job), or [Some (Error _)] when the baseline manifest
+    itself is unreadable.  Without [~baseline] it is [None]. *)

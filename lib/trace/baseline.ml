@@ -1,0 +1,275 @@
+module Json = Shades_json.Json
+
+let key_of_label label =
+  String.map
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | ',' | '=' | '-' | '_' -> c
+      | _ -> '_')
+    label
+
+let file_of_key key = key ^ ".shtr"
+
+let digest trace = Digest.to_hex (Digest.string (Codec.encode trace))
+
+type entry = { file : string; key : string; digest : string; events : int }
+
+type manifest = { version : int; entries : entry list }
+
+let manifest_file = "manifest.json"
+
+(* --- file io (tiny, local: the codec's own io decodes eagerly, but
+   the gate's fast path needs the raw bytes for digesting) --- *)
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> Ok text
+  | exception Sys_error msg -> Error ("baseline: " ^ msg)
+
+(* --- manifest codec (same one-entry-per-line discipline as the
+   sharded results store's manifest) --- *)
+
+let json_of_entry e =
+  Json.Obj
+    [
+      ("file", String e.file);
+      ("key", String e.key);
+      ("digest", String e.digest);
+      ("events", Int e.events);
+    ]
+
+let encode_manifest m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "{\"version\":%d,\"entries\":[" m.version);
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Buffer.add_string buf (Json.to_string (json_of_entry e)))
+    m.entries;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let need what = function
+  | Some v -> Ok v
+  | None -> Error ("baseline: manifest missing " ^ what)
+
+let as_string what = function
+  | Json.String s -> Ok s
+  | _ -> Error ("baseline: manifest " ^ what ^ " is not a string")
+
+let as_int what = function
+  | Json.Int i -> Ok i
+  | _ -> Error ("baseline: manifest " ^ what ^ " is not an integer")
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let entry_of_json j =
+  let* file = need "file" (Json.member "file" j) in
+  let* file = as_string "file" file in
+  let* key = need "key" (Json.member "key" j) in
+  let* key = as_string "key" key in
+  let* digest = need "digest" (Json.member "digest" j) in
+  let* digest = as_string "digest" digest in
+  let* events = need "events" (Json.member "events" j) in
+  let* events = as_int "events" events in
+  Ok { file; key; digest; events }
+
+let decode_manifest text =
+  let* j = Json.of_string text in
+  let* version = need "version" (Json.member "version" j) in
+  let* version = as_int "version" version in
+  if version <> Codec.format_version then
+    Error
+      (Printf.sprintf
+         "baseline: manifest is for trace format version %d (this build reads \
+          version %d) — re-bless the baselines"
+         version Codec.format_version)
+  else
+    let* entries = need "entries" (Json.member "entries" j) in
+    let* entries =
+      match entries with
+      | Json.List items -> map_result entry_of_json items
+      | _ -> Error "baseline: manifest entries is not a list"
+    in
+    Ok { version; entries }
+
+let load_manifest ~dir =
+  let* text = read_file (Filename.concat dir manifest_file) in
+  decode_manifest text
+
+let load ~dir e =
+  let* blob = read_file (Filename.concat dir e.file) in
+  let got = Digest.to_hex (Digest.string blob) in
+  if got <> e.digest then
+    Error
+      (Printf.sprintf "baseline: %s digest mismatch (manifest %s, file %s)"
+         e.file e.digest got)
+  else Codec.decode blob
+
+let save ~dir traces =
+  let keys = List.map fst traces in
+  List.iteri
+    (fun i k ->
+      if List.exists (String.equal k) (List.filteri (fun j _ -> j < i) keys)
+      then invalid_arg ("Baseline.save: duplicate job key " ^ k))
+    keys;
+  let entries =
+    List.map
+      (fun (key, trace) ->
+        ( {
+            file = file_of_key key;
+            key;
+            digest = digest trace;
+            events = Array.length trace.Trace.events;
+          },
+          trace ))
+      traces
+  in
+  (* a trace whose digest the previous manifest already lists is left
+     untouched on disk: re-blessing replaces only what changed *)
+  let previous =
+    match load_manifest ~dir with Ok m -> m.entries | Error _ -> []
+  in
+  let prev_digests = List.map (fun e -> (e.file, e.digest)) previous in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (e, trace) ->
+      let unchanged = List.assoc_opt e.file prev_digests = Some e.digest in
+      if not unchanged then
+        write_file (Filename.concat dir e.file) (Codec.encode trace))
+    entries;
+  List.iter
+    (fun old ->
+      if not (List.exists (fun (e, _) -> e.file = old.file) entries) then
+        try Sys.remove (Filename.concat dir old.file) with Sys_error _ -> ())
+    previous;
+  let m = { version = Codec.format_version; entries = List.map fst entries } in
+  write_file (Filename.concat dir manifest_file) (encode_manifest m);
+  m
+
+(* --- the gate --- *)
+
+type verdict =
+  | Identical
+  | Divergent of {
+      job : string;
+      round : int;
+      vertex : int;
+      event : Event.t option;
+      baseline_event : Event.t option;
+    }
+  | Missing
+  | Corrupt of string
+
+type report = { jobs : (string * verdict) list; stale : string list }
+
+let gate ~dir traces =
+  let* m = load_manifest ~dir in
+  let verdict (key, trace) =
+    match List.find_opt (fun e -> e.key = key) m.entries with
+    | None -> (key, Missing)
+    | Some e when digest trace = e.digest ->
+        (* fast path: byte-identical recording, baseline not decoded *)
+        (key, Identical)
+    | Some e -> (
+        match load ~dir e with
+        | Error msg -> (key, Corrupt msg)
+        | Ok baseline -> (
+            match Diff.first baseline trace with
+            | None ->
+                (* encodings differ (e.g. metadata) but the event
+                   streams agree modulo markers: behaviourally clean *)
+                (key, Identical)
+            | Some d ->
+                ( key,
+                  Divergent
+                    {
+                      job = key;
+                      round = d.Diff.round;
+                      vertex = d.Diff.vertex;
+                      event = d.Diff.right;
+                      baseline_event = d.Diff.left;
+                    } )))
+  in
+  let jobs = List.map verdict traces in
+  let current_keys = List.map fst traces in
+  let stale =
+    List.filter_map
+      (fun e ->
+        if List.exists (String.equal e.key) current_keys then None
+        else Some e.key)
+      m.entries
+  in
+  Ok { jobs; stale }
+
+let clean r =
+  r.stale = [] && List.for_all (fun (_, v) -> v = Identical) r.jobs
+
+let has_corrupt r =
+  List.exists (fun (_, v) -> match v with Corrupt _ -> true | _ -> false) r.jobs
+
+let pp_side = function
+  | Some e -> Event.to_string e
+  | None -> "nothing"
+
+let pp_verdict key = function
+  | Identical -> key ^ ": identical"
+  | Divergent { round; vertex; event; baseline_event; _ } ->
+      Printf.sprintf
+        "%s: first divergence at round %d vertex %d: baseline has %s, current \
+         has %s"
+        key round vertex (pp_side baseline_event) (pp_side event)
+  | Missing -> key ^ ": no blessed baseline (new job? re-bless)"
+  | Corrupt msg -> Printf.sprintf "%s: baseline unreadable: %s" key msg
+
+let pp_report r =
+  List.filter_map
+    (fun (key, v) -> if v = Identical then None else Some (pp_verdict key v))
+    r.jobs
+  @ List.map (fun key -> key ^ ": blessed but not in the current grid") r.stale
+
+let report_to_json r =
+  let side = function
+    | Some e -> Json.String (Event.to_string e)
+    | None -> Json.Null
+  in
+  let job (key, v) =
+    let fields =
+      match v with
+      | Identical -> [ ("verdict", Json.String "identical") ]
+      | Divergent { round; vertex; event; baseline_event; _ } ->
+          [
+            ("verdict", Json.String "divergent");
+            ("round", Json.Int round);
+            ("vertex", Json.Int vertex);
+            ("baseline_event", side baseline_event);
+            ("event", side event);
+          ]
+      | Missing -> [ ("verdict", Json.String "missing") ]
+      | Corrupt msg ->
+          [ ("verdict", Json.String "corrupt"); ("error", Json.String msg) ]
+    in
+    Json.Obj (("job", Json.String key) :: fields)
+  in
+  Json.Obj
+    [
+      ("clean", Json.Bool (clean r));
+      ("jobs", Json.List (List.map job r.jobs));
+      ("stale", Json.List (List.map (fun k -> Json.String k) r.stale));
+    ]

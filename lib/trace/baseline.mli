@@ -1,0 +1,130 @@
+(** Blessed baseline traces: a versioned on-disk store of known-good
+    recordings, and the forensics gate that compares a fresh run
+    against it.
+
+    A baseline store is a directory holding one {!Codec}-encoded trace
+    file per job ([<key>.shtr], where the key is the job's stable
+    identifier — see {!key_of_label}) plus a [manifest.json] naming
+    every file, its key, a content digest and its event count — the
+    same digest-manifest scheme as the sharded results store
+    ([Shades_runtime.Store.Sharded]), so the two committed baselines
+    under [BENCH_tiny/] stay structurally alike.
+
+    Digests are hex MD5 over the {!Codec.encode} blob.  Traces carry no
+    wall-clock content and the codec is deterministic, so a digest is
+    stable across machines, runs and domain counts; the gate's fast
+    path compares digests only and {e never decodes} a baseline file
+    whose digest matches the current trace.  The manifest carries
+    {!Codec.format_version}: a codec layout change invalidates every
+    blessed trace at load time instead of misreading it — re-bless
+    after bumping the version.
+
+    The point of the gate is forensics: where the measurement gate says
+    "messages changed", the trace gate answers {e where} — the first
+    divergent [(round, vertex, event)] of each drifted job, computed by
+    {!Diff} over canonical event order. *)
+
+(** {1 Keys and manifest} *)
+
+val key_of_label : string -> string
+(** Stable file-system-safe key derived from a job label: characters
+    outside [[A-Za-z0-9.,=_-]] are mapped to ['_'].  The sweep runtime
+    derives its job keys through this exact function
+    ([Shades_runtime.Sweep.key_of_job]), which is what lets [trace
+    bless] and [trace gate] agree on file names across processes. *)
+
+val file_of_key : string -> string
+(** [key ^ ".shtr"] — the trace file name inside the store directory. *)
+
+val digest : Trace.t -> string
+(** Hex MD5 of {!Codec.encode} — the manifest's content digest. *)
+
+type entry = {
+  file : string;  (** file name inside the store directory *)
+  key : string;  (** the job's stable key *)
+  digest : string;  (** hex MD5 of the encoded trace file *)
+  events : int;  (** retained events, for the manifest reader's benefit *)
+}
+
+type manifest = { version : int; entries : entry list }
+(** [version] is the {!Codec.format_version} the traces were encoded
+    with; every other version is rejected at load time. *)
+
+val manifest_file : string
+(** ["manifest.json"]. *)
+
+val save : dir:string -> (string * Trace.t) list -> manifest
+(** [save ~dir traces] blesses the keyed [traces]: writes one encoded
+    file per trace plus the manifest under [dir] (created if missing).
+    Mirroring [Shades_runtime.Store.Sharded.save], a trace whose
+    digest the existing manifest already lists is left untouched on
+    disk, and files from a previous blessing whose key no longer
+    exists are removed.
+    @raise Invalid_argument on duplicate keys. *)
+
+val load_manifest : dir:string -> (manifest, string) result
+(** Read and decode [manifest.json]; [Error] on a missing or malformed
+    file or a foreign {!Codec.format_version}. *)
+
+val load : dir:string -> entry -> (Trace.t, string) result
+(** Decode one blessed trace and verify its digest against the
+    manifest entry — a tampered or stale file is an [Error], never a
+    silently wrong baseline. *)
+
+(** {1 The gate} *)
+
+(** Per-job verdict of a gate run.  [Divergent] carries the {e first}
+    divergence in canonical event order: [baseline_event] is what the
+    blessed trace holds at that point, [event] what the current run
+    produced ([None] on either side means that side has no event
+    there).  [Missing] and [Corrupt] keep shape drift and decode
+    failures distinct from behavioural divergence — they map to
+    different exit codes at the CLI. *)
+type verdict =
+  | Identical
+  | Divergent of {
+      job : string;
+      round : int;
+      vertex : int;
+      event : Event.t option;
+      baseline_event : Event.t option;
+    }
+  | Missing  (** the job has no entry in the baseline manifest *)
+  | Corrupt of string  (** baseline entry unreadable: digest/decode error *)
+
+type report = {
+  jobs : (string * verdict) list;  (** one verdict per current job, in order *)
+  stale : string list;
+      (** baseline keys with no corresponding current job — shape
+          drift on the baseline side *)
+}
+
+val gate : dir:string -> (string * Trace.t) list -> (report, string) result
+(** [gate ~dir traces] compares the keyed current [traces] against the
+    blessed store under [dir].  Per job: digest match → [Identical]
+    (the baseline file is not decoded); mismatch → the baseline is
+    loaded and {!Diff.first} locates the earliest divergence.  [Error]
+    only when the manifest itself cannot be read — per-job problems
+    land in the report as [Corrupt]. *)
+
+val clean : report -> bool
+(** [true] iff every verdict is [Identical] and no baseline entry is
+    stale — the gate's pass condition. *)
+
+val has_corrupt : report -> bool
+(** [true] iff some verdict is [Corrupt] — the CLI maps this to the
+    decode-error exit code (2) rather than the divergence one (1). *)
+
+val pp_verdict : string -> verdict -> string
+(** One human-readable line per job, e.g. ["g,delta=3,k=1,i=2: first \
+    divergence at round 1 vertex 4: baseline has send r1 v4 p0 (2), \
+    current has nothing"]. *)
+
+val pp_report : report -> string list
+(** Every non-[Identical] verdict (plus stale keys) rendered through
+    {!pp_verdict}, in report order — empty iff {!clean}. *)
+
+val report_to_json : report -> Shades_json.Json.t
+(** The full report as JSON, for CI annotations: per job its verdict,
+    divergence location and both events ({!Event.to_string} form),
+    plus the stale-key list. *)

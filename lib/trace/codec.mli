@@ -28,7 +28,11 @@ val decode : string -> (Trace.t, string) result
     foreign format version, truncation, or any malformed event. *)
 
 val write : path:string -> Trace.t -> unit
+(** {!encode} to a file (truncating any existing one). *)
+
 val read : path:string -> (Trace.t, string) result
+(** {!decode} a file; unreadable files are an [Error], not an
+    exception. *)
 
 val fold_events :
   string -> init:'a -> f:('a -> Event.t -> 'a) -> ('a * Trace.meta, string) result

@@ -38,6 +38,8 @@ val vertex : t -> int
 (** The vertex an event belongs to; [-1] for [Round_start]. *)
 
 val is_sync_marker : t -> bool
+(** [true] exactly on [Sync_marker _] — the events {!Diff.normalize}
+    drops. *)
 
 val kind_rank : t -> int
 (** Total order on constructors used by {!compare}: [Round_start] <
@@ -49,8 +51,11 @@ val compare : t -> t -> int
     remaining payload — the order {!Diff} normalizes traces into. *)
 
 val equal : t -> t -> bool
+(** Structural equality (also: {!compare}'s key covers every field, so
+    [equal a b] iff [compare a b = 0]). *)
 
 val to_string : t -> string
 (** One compact human-readable token, e.g. [send r3 v12 p0 (37)]. *)
 
 val pp : Format.formatter -> t -> unit
+(** {!to_string} as a [Format] printer. *)

@@ -66,9 +66,11 @@ type stats = {
 }
 
 val stats : t -> stats
+(** One pass over the events; [max_round] is the largest round stamp
+    seen (0 for an event-free trace). *)
 
 val per_round_sends : t -> (int * int) list
 (** [(round, sends in that round)] for every round with at least one
     [Send], ascending — the per-round summary the sweep runtime feeds
-    into {!Metrics} histograms (it coincides with the engine's
+    into [Metrics] histograms (it coincides with the engine's
     [on_round] message deltas). *)

@@ -1,0 +1,287 @@
+(* Tests for the blessed-trace baseline store and the forensics gate:
+   manifest round-trips, digest-skip blessing, corrupted-digest failure
+   isolation, stale/missing detection, the run_traced ~baseline
+   integration, and the headline property — any single-event mutation
+   of a recorded tiny-grid trace is caught at exactly the mutated
+   (round, vertex). *)
+
+open Shades_trace
+module Sweep = Shades_runtime.Sweep
+
+(* One recording of the tiny grid, shared by every test below (the
+   grid is deterministic, so recording once is sound). *)
+let tiny_traced =
+  lazy
+    (let jobs = Sweep.tiny_jobs () in
+     let traced, report = Sweep.run_traced ~domains:2 jobs in
+     assert (report = None);
+     List.map2 (fun job (_, tr) -> (Sweep.key_of_job job, tr)) jobs traced)
+
+let in_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shades_baseline_%d" (Unix.getpid ()))
+  in
+  let rec wipe path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> wipe (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  wipe dir;
+  Fun.protect ~finally:(fun () -> wipe dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let test_key_of_label () =
+  Alcotest.(check string)
+    "grid labels pass through unscathed" "g,delta=3,k=1,i=2"
+    (Baseline.key_of_label "g,delta=3,k=1,i=2");
+  Alcotest.(check string)
+    "hostile bytes sanitized" "u_4,1___=1"
+    (Baseline.key_of_label "u 4,1 σ=1");
+  Alcotest.(check string)
+    "no path separators survive" "a_b_c"
+    (Baseline.key_of_label "a/b\\c")
+
+let test_bless_round_trip () =
+  in_temp_dir (fun dir ->
+      let traces = Lazy.force tiny_traced in
+      let m = Baseline.save ~dir traces in
+      Alcotest.(check int)
+        "one entry per tiny-grid job" (List.length traces)
+        (List.length m.Baseline.entries);
+      Alcotest.(check int)
+        "manifest carries the codec version" Codec.format_version
+        m.Baseline.version;
+      (* reload and verify every trace decodes back byte-identically *)
+      (match Baseline.load_manifest ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok m' ->
+          Alcotest.(check bool) "manifest round-trips" true (m' = m);
+          List.iter
+            (fun e ->
+              match Baseline.load ~dir e with
+              | Error err -> Alcotest.fail err
+              | Ok t ->
+                  Alcotest.(check bool)
+                    (e.Baseline.key ^ " loads back equal")
+                    true
+                    (Some t
+                    = List.assoc_opt e.Baseline.key traces))
+            m'.Baseline.entries);
+      (* a clean gate, straight after blessing *)
+      match Baseline.gate ~dir traces with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check bool) "gate is clean" true (Baseline.clean r);
+          Alcotest.(check int) "no stale keys" 0 (List.length r.Baseline.stale))
+
+let test_rebless_skips_unchanged () =
+  in_temp_dir (fun dir ->
+      let traces = Lazy.force tiny_traced in
+      ignore (Baseline.save ~dir traces);
+      let file =
+        Filename.concat dir (Baseline.file_of_key (fst (List.hd traces)))
+      in
+      let before = (Unix.stat file).Unix.st_mtime in
+      (* make a rewrite observable even on coarse-mtime filesystems *)
+      Unix.utimes file 1.0 1.0;
+      ignore (Baseline.save ~dir traces);
+      let after = (Unix.stat file).Unix.st_mtime in
+      Alcotest.(check bool)
+        "unchanged trace file not rewritten" true
+        (after < before))
+
+let test_corrupted_digest_isolated () =
+  in_temp_dir (fun dir ->
+      let traces = Lazy.force tiny_traced in
+      ignore (Baseline.save ~dir traces);
+      let victim = fst (List.hd traces) in
+      (* corrupt exactly one digest in the manifest *)
+      let path = Filename.concat dir Baseline.manifest_file in
+      let text = read_file path in
+      let entry =
+        let m = Option.get (Result.to_option (Baseline.load_manifest ~dir)) in
+        List.find (fun e -> e.Baseline.key = victim) m.Baseline.entries
+      in
+      let corrupted =
+        Str.global_replace
+          (Str.regexp_string entry.Baseline.digest)
+          (String.make 32 '0') text
+      in
+      Alcotest.(check bool) "digest found in manifest" true (corrupted <> text);
+      write_file path corrupted;
+      match Baseline.gate ~dir traces with
+      | Error e -> Alcotest.fail ("gate refused the manifest: " ^ e)
+      | Ok r ->
+          Alcotest.(check bool) "gate fails" false (Baseline.clean r);
+          Alcotest.(check bool) "corrupt detected" true (Baseline.has_corrupt r);
+          List.iter
+            (fun (key, v) ->
+              if key = victim then
+                match v with
+                | Baseline.Corrupt _ -> ()
+                | _ -> Alcotest.fail (key ^ ": expected Corrupt")
+              else
+                Alcotest.(check bool)
+                  (key ^ ": untouched jobs stay identical")
+                  true
+                  (v = Baseline.Identical))
+            r.Baseline.jobs)
+
+let test_missing_and_stale () =
+  in_temp_dir (fun dir ->
+      let traces = Lazy.force tiny_traced in
+      ignore (Baseline.save ~dir traces);
+      let renamed =
+        match traces with
+        | (_, t) :: rest -> ("g,delta=9,k=9,i=9", t) :: rest
+        | [] -> assert false
+      in
+      match Baseline.gate ~dir renamed with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check bool) "gate fails" false (Baseline.clean r);
+          Alcotest.(check bool)
+            "new job reported Missing" true
+            (List.assoc "g,delta=9,k=9,i=9" r.Baseline.jobs = Baseline.Missing);
+          Alcotest.(check (list string))
+            "dropped job reported stale"
+            [ fst (List.hd traces) ]
+            r.Baseline.stale)
+
+let test_version_mismatch_rejected () =
+  in_temp_dir (fun dir ->
+      ignore (Baseline.save ~dir (Lazy.force tiny_traced));
+      let path = Filename.concat dir Baseline.manifest_file in
+      let text = read_file path in
+      let bumped =
+        Str.replace_first
+          (Str.regexp_string
+             (Printf.sprintf "\"version\":%d" Codec.format_version))
+          (Printf.sprintf "\"version\":%d" (Codec.format_version + 1))
+          text
+      in
+      Alcotest.(check bool) "version found" true (bumped <> text);
+      write_file path bumped;
+      match Baseline.gate ~dir (Lazy.force tiny_traced) with
+      | Error e ->
+          Alcotest.(check bool)
+            "error says to re-bless" true
+            (let needle = "re-bless" in
+             let rec contains i =
+               i + String.length needle <= String.length e
+               && (String.sub e i (String.length needle) = needle
+                  || contains (i + 1))
+             in
+             contains 0)
+      | Ok _ -> Alcotest.fail "foreign-version manifest accepted")
+
+let test_run_traced_baseline_integration () =
+  in_temp_dir (fun dir ->
+      ignore (Baseline.save ~dir (Lazy.force tiny_traced));
+      let jobs = Sweep.tiny_jobs () in
+      let _, report = Sweep.run_traced ~domains:2 ~baseline:dir jobs in
+      (match report with
+      | Some (Ok r) ->
+          Alcotest.(check bool)
+            "re-run gates clean against its own blessing" true
+            (Baseline.clean r)
+      | Some (Error e) -> Alcotest.fail e
+      | None -> Alcotest.fail "~baseline produced no report");
+      (* and a missing store directory is an Error, not an exception *)
+      let _, report =
+        Sweep.run_traced ~domains:2
+          ~baseline:(Filename.concat dir "nonexistent")
+          jobs
+      in
+      match report with
+      | Some (Error _) -> ()
+      | _ -> Alcotest.fail "missing baseline dir should be an Error")
+
+(* --- the headline property --- *)
+
+(* A strictly key-increasing single-event mutation: the canonical diff
+   order is (round, kind, vertex, extras) and the bump below raises
+   exactly one component, so the mutant sorts strictly after the
+   original.  The merge walk therefore reports its first divergence at
+   the original event's (round, vertex) with the baseline holding the
+   event — which is precisely the forensics contract. *)
+let bump = function
+  | Event.Round_start { round } -> Event.Round_start { round = round + 1 }
+  | Event.Send { round; v; port; size } ->
+      Event.Send { round; v; port; size = size + 1 }
+  | Event.Deliver { round; v; port; size } ->
+      Event.Deliver { round; v; port; size = size + 1 }
+  | Event.Decide { v; round } -> Event.Decide { v; round = round + 1 }
+  | Event.Halt { v; round } -> Event.Halt { v; round = round + 1 }
+  | Event.Advice_read { v; bits } -> Event.Advice_read { v; bits = bits + 1 }
+  | Event.Sync_marker { round; v; port } ->
+      Event.Sync_marker { round; v; port = port + 1 }
+
+let mutation_property =
+  QCheck.Test.make
+    ~name:"any single-event mutation is caught at the mutated (round, vertex)"
+    ~count:100
+    QCheck.(pair (int_bound 1) (int_bound 100_000))
+    (fun (job_idx, seed) ->
+      let traces = Lazy.force tiny_traced in
+      let key, original = List.nth traces job_idx in
+      let events = Array.copy original.Trace.events in
+      let idx = seed mod Array.length events in
+      let target = events.(idx) in
+      events.(idx) <- bump target;
+      let mutant = { original with Trace.events } in
+      in_temp_dir (fun dir ->
+          ignore (Baseline.save ~dir traces);
+          let current =
+            List.map
+              (fun (k, t) -> if k = key then (k, mutant) else (k, t))
+              traces
+          in
+          match Baseline.gate ~dir current with
+          | Error e -> QCheck.Test.fail_report e
+          | Ok r -> (
+              if Baseline.clean r then
+                QCheck.Test.fail_report "mutation not caught";
+              match List.assoc key r.Baseline.jobs with
+              | Baseline.Divergent { round; vertex; baseline_event; _ } ->
+                  round = Event.round target
+                  && vertex = Event.vertex target
+                  && baseline_event = Some target
+              | _ -> QCheck.Test.fail_report "expected Divergent")))
+
+let () =
+  Alcotest.run "shades_baseline"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "key sanitization" `Quick test_key_of_label;
+          Alcotest.test_case "bless round trip" `Quick test_bless_round_trip;
+          Alcotest.test_case "re-bless skips unchanged" `Quick
+            test_rebless_skips_unchanged;
+          Alcotest.test_case "version mismatch rejected" `Quick
+            test_version_mismatch_rejected;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "corrupted digest isolated" `Quick
+            test_corrupted_digest_isolated;
+          Alcotest.test_case "missing and stale" `Quick test_missing_and_stale;
+          Alcotest.test_case "run_traced ~baseline" `Quick
+            test_run_traced_baseline_integration;
+          QCheck_alcotest.to_alcotest mutation_property;
+        ] );
+    ]

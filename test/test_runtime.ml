@@ -582,7 +582,8 @@ let test_largest_first_is_invisible () =
 let test_run_traced_neutral () =
   let jobs = Sweep.tiny_jobs () in
   let plain = Sweep.run ~domains:2 jobs in
-  let traced = Sweep.run_traced ~domains:2 jobs in
+  let traced, report = Sweep.run_traced ~domains:2 jobs in
+  Alcotest.(check bool) "no baseline, no report" true (report = None);
   Alcotest.(check string) "tracing never changes the records"
     (canonical (Store.make plain))
     (canonical (Store.make (List.map fst traced)));
