@@ -11,8 +11,11 @@ SMOKE_TRACES ?= /tmp/shades_smoke_traces
 # this to a workspace path so a failing gate uploads the report as an
 # artifact.
 GATE_REPORT ?= /tmp/shades_gate_report.json
+# Where `shades lint` writes its JSON findings report — same CI
+# override story as the gate report.
+LINT_REPORT ?= /tmp/shades_lint_report.json
 
-.PHONY: all check build test smoke sweep bless doc bench clean
+.PHONY: all check build test lint smoke sweep bless doc bench clean
 
 all: check
 
@@ -21,6 +24,14 @@ build:
 
 test:
 	dune runtest
+
+# shadescheck: the determinism & locality lint over the compiled typed
+# ASTs (needs a full build so every .cmt is fresh).  Exit 1 on any
+# unsuppressed finding, 2 if the .cmts cannot be loaded.
+lint:
+	dune build @all
+	@mkdir -p $(dir $(LINT_REPORT))
+	dune exec bin/shades_cli.exe -- lint --json $(LINT_REPORT)
 
 # The tier-1 gate: full build, full test suite, the tiny-grid smoke
 # sweep compared --strict against the committed sharded baseline
@@ -31,8 +42,12 @@ test:
 # event) per drifted job (exit 1 divergent, 2 unreadable baseline).
 # Intentional changes go through `make bless`.  Tracing is
 # metrics-neutral, so recording never perturbs the measurement gate.
+# Order: build → lint → tests → measurement gate → forensics gate, so
+# a source-hygiene regression fails before any baseline is consulted.
 check:
 	dune build @all
+	@mkdir -p $(dir $(LINT_REPORT))
+	dune exec bin/shades_cli.exe -- lint --json $(LINT_REPORT)
 	dune runtest
 	@mkdir -p $(dir $(SMOKE_OUT))
 	dune exec bin/shades_cli.exe -- sweep --tiny -o $(SMOKE_OUT) \

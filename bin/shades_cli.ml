@@ -905,6 +905,79 @@ let trace_cmd =
       trace_gate_cmd;
     ]
 
+(* --- lint --- *)
+
+let lint_cmd =
+  let open Shades_analysis in
+  (* the --rules vocabulary and help text are generated from the
+     registry, so they cannot drift from the rules that actually run *)
+  let rules_doc =
+    "Comma-separated subset of rules to run.  Available: "
+    ^ String.concat "; "
+        (List.map
+           (fun (name, doc) -> Printf.sprintf "$(b,%s) (%s)" name doc)
+           (Lint.describe ()))
+    ^ "."
+  in
+  let lint_exits =
+    [
+      Cmdliner.Cmd.Exit.info 0 ~doc:"when the tree lints clean.";
+      Cmdliner.Cmd.Exit.info 1 ~doc:"on unsuppressed error findings.";
+      Cmdliner.Cmd.Exit.info 2
+        ~doc:
+          "when the typed ASTs (.cmt) cannot be discovered or decoded — \
+           build first.";
+      Cmdliner.Cmd.Exit.info 124 ~doc:"on command line parsing errors.";
+      Cmdliner.Cmd.Exit.info 125 ~doc:"on unexpected internal errors (bugs).";
+    ]
+  in
+  let run json rules root paths =
+    let rules = match rules with [] -> None | rs -> Some rs in
+    let paths = match paths with [] -> [ "lib" ] | ps -> ps in
+    let result = Lint.run ?rules ~root ~paths () in
+    (match result with
+    | Error e -> Printf.eprintf "lint: %s\n" e
+    | Ok report ->
+        Option.iter
+          (fun path ->
+            Report.write_json ~path report;
+            Printf.printf "wrote lint report to %s\n" path)
+          json;
+        Format.printf "%a@?" Report.pp report);
+    exit (Lint.exit_code result)
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON to FILE (the CI artifact).")
+  in
+  let rules_arg =
+    Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"R1,R2" ~doc:rules_doc)
+  in
+  let root_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Project root; .cmt files are read from its _build/default \
+             mirror when one exists.")
+  in
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATHS"
+          ~doc:"Source directories to lint (default: lib).")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~exits:lint_exits
+       ~doc:
+         "Run the shadescheck determinism & locality rules over the \
+          project's typed ASTs.  Exits 0 clean, 1 on findings, 2 when \
+          the .cmt files cannot be loaded.")
+    Term.(const run $ json_arg $ rules_arg $ root_arg $ paths_arg)
+
 (* --- families --- *)
 
 let delta_arg =
@@ -1007,5 +1080,5 @@ let () =
           [
             index_cmd; views_cmd; elect_cmd; dot_cmd; quotient_cmd;
             tradeoff_cmd; labelings_cmd; family_g_cmd; family_u_cmd;
-            family_j_cmd; sweep_cmd; trace_cmd;
+            family_j_cmd; sweep_cmd; trace_cmd; lint_cmd;
           ]))

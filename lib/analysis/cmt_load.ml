@@ -1,0 +1,97 @@
+type unit_info = {
+  cmt_path : string;
+  source : string;
+  source_abs : string option;
+  structure : Typedtree.structure option;
+}
+
+let ( // ) = Filename.concat
+
+let rec walk dir acc =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = dir // entry in
+          if Sys.is_directory path then walk path acc
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+let read_unit ~base cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception e ->
+      Error
+        (Printf.sprintf "%s: cannot decode cmt (%s)" cmt_path
+           (Printexc.to_string e))
+  | infos -> (
+      match infos.Cmt_format.cmt_sourcefile with
+      | Some source when Filename.check_suffix source ".ml" ->
+          let source_abs =
+            let candidates =
+              [ base // source; Filename.dirname cmt_path // Filename.basename source ]
+            in
+            List.find_opt Sys.file_exists candidates
+          in
+          let structure =
+            match infos.Cmt_format.cmt_annots with
+            | Cmt_format.Implementation str -> Some str
+            | _ -> None
+          in
+          Ok (Some { cmt_path; source; source_abs; structure })
+      | _ -> Ok None (* interface, pack, or a generated wrapper module *))
+
+let discover ~root ~paths =
+  let build_mirror = root // "_build" // "default" in
+  let scan path =
+    let base = if Sys.file_exists (build_mirror // path) then build_mirror else root in
+    let dir = base // path in
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      Error (Printf.sprintf "%s: no such directory (run `dune build` first?)" dir)
+    else
+      let cmts = walk dir [] in
+      if cmts = [] then
+        Error
+          (Printf.sprintf "%s: no .cmt files found (run `dune build` first?)" dir)
+      else
+        let rec load acc = function
+          | [] -> Ok acc
+          | cmt :: rest -> (
+              match read_unit ~base cmt with
+              | Error _ as e -> e
+              | Ok None -> load acc rest
+              | Ok (Some u) -> load (u :: acc) rest)
+        in
+        load [] cmts
+  in
+  let rec over acc = function
+    | [] -> Ok acc
+    | p :: rest -> (
+        match scan p with
+        | Error _ as e -> e
+        | Ok units -> over (units @ acc) rest)
+  in
+  match over [] paths with
+  | Error _ as e -> e
+  | Ok units ->
+      (* one unit per source: the same module can surface through
+         several scan paths *)
+      let units =
+        List.sort_uniq (fun a b -> String.compare a.source b.source) units
+      in
+      Ok units
+
+let read_source u =
+  match u.source_abs with
+  | None -> None
+  | Some path -> (
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> Some text
+      | exception Sys_error _ -> None)

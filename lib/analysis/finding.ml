@@ -1,0 +1,39 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp fmt f =
+  Format.fprintf fmt "%s:%d:%d: [%s/%s] %s" f.file f.line f.col
+    (severity_to_string f.severity)
+    f.rule f.message
+
+let to_json f =
+  Shades_json.Json.Obj
+    [
+      ("rule", Shades_json.Json.String f.rule);
+      ("severity", Shades_json.Json.String (severity_to_string f.severity));
+      ("file", Shades_json.Json.String f.file);
+      ("line", Shades_json.Json.Int f.line);
+      ("col", Shades_json.Json.Int f.col);
+      ("message", Shades_json.Json.String f.message);
+    ]

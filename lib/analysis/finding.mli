@@ -1,0 +1,29 @@
+(** A single lint finding: one rule firing at one source location.
+
+    Findings are value-comparable and carry everything both reporters
+    need — the rule name, its severity, the source position as recorded
+    in the [.cmt] file (a path relative to the build root, so output is
+    stable across machines), and a human-readable message. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** registry name of the rule that fired *)
+  severity : severity;
+  file : string;  (** source path as recorded in the [.cmt] (relative) *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based column, matching compiler diagnostics *)
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Order by [(file, line, col, rule)] — the canonical report order. *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: [severity/rule] message] — one line per finding. *)
+
+val to_json : t -> Shades_json.Json.t
+(** One finding as an object in the [shades] JSON dialect:
+    [{"rule", "severity", "file", "line", "col", "message"}]. *)

@@ -1,0 +1,59 @@
+let rules = Rules_det.rules @ Rules_arch.rules
+
+let rule_names = List.map (fun r -> r.Rule.name) rules
+
+let describe () = List.map (fun r -> (r.Rule.name, r.Rule.doc)) rules
+
+let select = function
+  | None -> Ok rules
+  | Some names -> (
+      let unknown =
+        List.filter (fun n -> not (List.mem n rule_names)) names
+      in
+      match unknown with
+      | [] -> Ok (List.filter (fun r -> List.mem r.Rule.name names) rules)
+      | u ->
+          Error
+            (Printf.sprintf "unknown rule%s: %s (known: %s)"
+               (if List.length u = 1 then "" else "s")
+               (String.concat ", " u)
+               (String.concat ", " rule_names)))
+
+let lint_unit selected unit =
+  let raw = List.concat_map (fun r -> r.Rule.check unit) selected in
+  let suppressions =
+    match Cmt_load.read_source unit with
+    | Some text -> Suppress.scan text
+    | None -> Suppress.empty
+  in
+  List.partition
+    (fun f ->
+      not
+        (Suppress.allows suppressions ~rule:f.Finding.rule
+           ~line:f.Finding.line))
+    raw
+
+let run ?rules:selection ~root ~paths () =
+  match select selection with
+  | Error _ as e -> e
+  | Ok selected -> (
+      match Cmt_load.discover ~root ~paths with
+      | Error _ as e -> e
+      | Ok units ->
+          let findings, suppressed =
+            List.fold_left
+              (fun (fs, n) unit ->
+                let kept, dropped = lint_unit selected unit in
+                (kept @ fs, n + List.length dropped))
+              ([], 0) units
+          in
+          Ok
+            {
+              Report.findings = List.sort Finding.compare findings;
+              suppressed;
+              units = List.length units;
+            })
+
+let exit_code = function
+  | Error _ -> 2
+  | Ok report -> if Report.clean report then 0 else 1

@@ -1,0 +1,38 @@
+(** The lint driver: rule registry, selection, and the exit contract.
+
+    [shadescheck] loads the project's [.cmt] typed ASTs (see
+    [Cmt_load]), runs the selected rules over every unit, filters
+    findings through the unit's suppression comments ([Suppress]), and
+    returns a [Report.t].
+
+    The exit contract matches the trace gate's: 0 when the tree is
+    clean, 1 when unsuppressed error findings remain, 2 when the
+    [.cmt]s cannot be discovered or decoded (an infrastructure failure,
+    never to be confused with a clean run). *)
+
+val rules : Rule.t list
+(** The full registry: determinism rules then architecture rules. *)
+
+val rule_names : string list
+(** Registry names in registry order — the [--rules] vocabulary.  Help
+    text is generated from this list so it can never drift from the
+    registry. *)
+
+val describe : unit -> (string * string) list
+(** [(name, one-line doc)] per registered rule, for help text. *)
+
+val run :
+  ?rules:string list ->
+  root:string ->
+  paths:string list ->
+  unit ->
+  (Report.t, string) result
+(** [run ~root ~paths ()] lints every compilation unit found under
+    [paths] (relative to [root], preferring its [_build/default]
+    mirror).  [?rules] restricts to a subset of {!rule_names};
+    an unknown name is an [Error].  Findings come back sorted by
+    [(file, line, col, rule)]. *)
+
+val exit_code : (Report.t, string) result -> int
+(** The exit contract: [Error _] → 2, unsuppressed error findings → 1,
+    clean → 0. *)

@@ -1,0 +1,50 @@
+module Json = Shades_json.Json
+
+type t = { findings : Finding.t list; suppressed : int; units : int }
+
+let version = 1
+
+let clean t =
+  not
+    (List.exists (fun f -> f.Finding.severity = Finding.Error) t.findings)
+
+let pp fmt t =
+  List.iter (fun f -> Format.fprintf fmt "%a@." Finding.pp f) t.findings;
+  Format.fprintf fmt
+    "shadescheck: %d finding%s (%d suppressed) across %d unit%s@."
+    (List.length t.findings)
+    (if List.length t.findings = 1 then "" else "s")
+    t.suppressed t.units
+    (if t.units = 1 then "" else "s")
+
+let counts t =
+  let tally =
+    List.fold_left
+      (fun acc f ->
+        let rule = f.Finding.rule in
+        match List.assoc_opt rule acc with
+        | Some n -> (rule, n + 1) :: List.remove_assoc rule acc
+        | None -> (rule, 1) :: acc)
+      [] t.findings
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) tally
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("clean", Json.Bool (clean t));
+      ("units", Json.Int t.units);
+      ("suppressed", Json.Int t.suppressed);
+      ( "counts",
+        Json.Obj (List.map (fun (r, n) -> (r, Json.Int n)) (counts t)) );
+      ("findings", Json.List (List.map Finding.to_json t.findings));
+    ]
+
+let write_json ~path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')

@@ -1,0 +1,22 @@
+(** Reporters for a lint run: human-readable text and the machine
+    [shades] JSON dialect ([Shades_json]) shared with the results store
+    and the trace gate — one dialect, three gates. *)
+
+type t = {
+  findings : Finding.t list;  (** unsuppressed, in canonical order *)
+  suppressed : int;  (** findings silenced by suppression comments *)
+  units : int;  (** compilation units analysed *)
+}
+
+val clean : t -> bool
+(** No unsuppressed finding of severity [Error]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per finding followed by a one-line summary. *)
+
+val to_json : t -> Shades_json.Json.t
+(** [{"version"; "clean"; "units"; "suppressed"; "counts"; "findings"}]
+    — [counts] maps each firing rule to its finding count. *)
+
+val write_json : path:string -> t -> unit
+(** [to_json] rendered to [path] (newline-terminated). *)

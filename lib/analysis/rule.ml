@@ -1,0 +1,109 @@
+type t = {
+  name : string;
+  severity : Finding.severity;
+  doc : string;
+  check : Cmt_load.unit_info -> Finding.t list;
+}
+
+let finding ~rule ~unit ~(loc : Location.t) message =
+  (* Location.none (whole-unit findings like missing-mli) carries a
+     dummy 0:-1 position; clamp to the conventional 1:0. *)
+  {
+    Finding.rule = rule.name;
+    severity = rule.severity;
+    file = unit.Cmt_load.source;
+    line = max 1 loc.Location.loc_start.Lexing.pos_lnum;
+    col =
+      max 0
+        (loc.Location.loc_start.Lexing.pos_cnum
+        - loc.Location.loc_start.Lexing.pos_bol);
+    message;
+  }
+
+(* "Shades_graph__Port_graph" -> "Port_graph": dune wraps library
+   modules under a Lib__Module alias; the part after the last "__" is
+   the name the source spells. *)
+let strip_wrap seg =
+  let n = String.length seg in
+  let rec last_sep i best =
+    if i + 1 >= n then best
+    else if seg.[i] = '_' && seg.[i + 1] = '_' then last_sep (i + 1) (Some (i + 2))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some i when i < n -> String.sub seg i (n - i)
+  | _ -> seg
+
+let normalize path =
+  let segs = String.split_on_char '.' (Path.name path) in
+  let segs = List.map strip_wrap segs in
+  let segs = match segs with "Stdlib" :: (_ :: _ as rest) -> rest | s -> s in
+  String.concat "." segs
+
+let matches name patterns =
+  List.exists
+    (fun p ->
+      name = p
+      ||
+      let sp = "." ^ p in
+      let n = String.length name and np = String.length sp in
+      n > np && String.sub name (n - np) np = sp)
+    patterns
+
+let in_dir unit segment =
+  let source = unit.Cmt_load.source in
+  let needle = segment ^ "/" in
+  let n = String.length source and nn = String.length needle in
+  let rec go i =
+    i + nn <= n && (String.sub source i nn = needle || go (i + 1))
+  in
+  go 0
+
+let sort_heads =
+  [
+    "List.sort"; "List.stable_sort"; "List.sort_uniq"; "List.fast_sort";
+    "ListLabels.sort"; "ListLabels.stable_sort"; "ListLabels.sort_uniq";
+    "Array.sort"; "Array.stable_sort"; "Array.fast_sort";
+  ]
+
+let rec head_path (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some p
+  | Typedtree.Texp_apply (f, _) -> head_path f
+  | _ -> None
+
+let is_sorting e =
+  match head_path e with
+  | Some p -> matches (normalize p) sort_heads
+  | None -> false
+
+(* An expression under which hashtable iteration order cannot escape:
+   an application of a canonical sort, or a |>/@@ pipeline one of whose
+   stages is a sort. *)
+let establishes_sorted (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_apply (f, args) -> (
+      is_sorting f
+      ||
+      match head_path f with
+      | Some p when matches (normalize p) [ "|>"; "@@" ] ->
+          List.exists
+            (function _, Some arg -> is_sorting arg | _, None -> false)
+            args
+      | _ -> false)
+  | _ -> false
+
+let iter_idents str ~f =
+  let sorted = ref 0 in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, lid, _) ->
+        f ~sorted:(!sorted > 0) p lid.Location.loc
+    | _ -> ());
+    let enters = establishes_sorted e in
+    if enters then incr sorted;
+    Tast_iterator.default_iterator.Tast_iterator.expr sub e;
+    if enters then decr sorted
+  in
+  let iterator = { Tast_iterator.default_iterator with Tast_iterator.expr } in
+  iterator.Tast_iterator.structure iterator str

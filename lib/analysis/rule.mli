@@ -1,0 +1,41 @@
+(** The rule interface and the typed-AST walking toolkit rules share.
+
+    A rule is a named check over one compilation unit.  Rules match
+    identifier {e paths} from the typed AST — already resolved by the
+    compiler, so aliases like [module PG = Shades_graph.Port_graph] and
+    dune's [Lib__Module] name mangling are normalized away before
+    matching. *)
+
+type t = {
+  name : string;  (** registry name, as given to [--rules] *)
+  severity : Finding.severity;
+  doc : string;  (** one line, rendered into the [--rules] help text *)
+  check : Cmt_load.unit_info -> Finding.t list;
+}
+
+val finding :
+  rule:t -> unit:Cmt_load.unit_info -> loc:Location.t -> string -> Finding.t
+(** Build a finding for [rule] at [loc] in [unit]. *)
+
+val normalize : Path.t -> string
+(** A resolved path as a stable dotted name: dune wrapper prefixes
+    ([Shades_graph__Port_graph] → [Port_graph]) and the [Stdlib] head
+    segment are stripped, so [Hashtbl.fold] matches however the stdlib
+    was reached. *)
+
+val matches : string -> string list -> bool
+(** [matches name patterns] — [name] equals a pattern or ends with
+    [. ^ pattern] (a module-qualified suffix match: local module
+    aliases keep matching; accidental substring hits do not). *)
+
+val in_dir : Cmt_load.unit_info -> string -> bool
+(** Does the unit's recorded source path contain the directory
+    [segment] (e.g. ["lib/election"])? *)
+
+val iter_idents :
+  Typedtree.structure -> f:(sorted:bool -> Path.t -> Location.t -> unit) -> unit
+(** Visit every value identifier of the unit.  [sorted] is true when
+    the identifier sits under an application of a canonical sort
+    ([List.sort] / [List.sort_uniq] / [List.stable_sort] /
+    [Array.sort] / …), including through a [|>] or [@@] pipeline —
+    the escape hatch the hashtbl-order rule recognises. *)

@@ -1,0 +1,76 @@
+(* --- missing-mli --- *)
+
+let rec missing_mli =
+  lazy
+    {
+      Rule.name = "missing-mli";
+      severity = Finding.Error;
+      doc = "public library module in lib/ without an .mli interface";
+      check =
+        (fun unit ->
+          if not (Rule.in_dir unit "lib") then []
+          else
+            match unit.Cmt_load.source_abs with
+            | None -> [] (* source not on disk: nothing to check against *)
+            | Some src ->
+                if Sys.file_exists (src ^ "i") then []
+                else
+                  [
+                    Rule.finding ~rule:(Lazy.force missing_mli) ~unit
+                      ~loc:Location.none
+                      (Printf.sprintf
+                         "module %s has no interface; every public module \
+                          carries an .mli (and its odoc comments feed the \
+                          documented API surface)"
+                         (String.capitalize_ascii
+                            (Filename.remove_extension
+                               (Filename.basename src))));
+                  ]);
+    }
+
+(* --- locality --- *)
+
+(* The adjacency oracles a LOCAL-model node must never consult
+   directly: anything revealing neighbours or whole-graph structure.
+   Port-local facts (a node's own degree, the graph order carried by
+   advice) are not in this list; neither are the Paths algorithms when
+   run on a map a node reconstructed from its own view/advice. *)
+let adjacency_reads =
+  [
+    "Port_graph.neighbor"; "Port_graph.neighbor_vertex";
+    "Port_graph.port_to"; "Port_graph.edges"; "Port_graph.vertices";
+    "Paths.connected_avoiding";
+  ]
+
+let rec locality =
+  lazy
+    {
+      Rule.name = "locality";
+      severity = Finding.Error;
+      doc =
+        "lib/election code reading graph adjacency directly instead of the \
+         views/engine message API";
+      check =
+        (fun unit ->
+          if not (Rule.in_dir unit "lib/election") then []
+          else
+            match unit.Cmt_load.structure with
+            | None -> []
+            | Some str ->
+                let acc = ref [] in
+                Rule.iter_idents str ~f:(fun ~sorted:_ p loc ->
+                    let name = Rule.normalize p in
+                    if Rule.matches name adjacency_reads then
+                      acc :=
+                        Rule.finding ~rule:(Lazy.force locality) ~unit ~loc
+                          (name
+                          ^ " reads graph adjacency from election code; a \
+                             node may act only on its view (lib/views) and \
+                             received messages (the engine API).  Offline \
+                             oracle/verifier modules carry a file-level \
+                             suppression naming why they are exempt")
+                        :: !acc);
+                List.rev !acc);
+    }
+
+let rules = [ Lazy.force missing_mli; Lazy.force locality ]

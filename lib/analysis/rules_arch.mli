@@ -1,0 +1,6 @@
+(** Architecture rules: interface discipline (every public module ships
+    an [.mli]) and the LOCAL-model locality boundary (election modules
+    must not read graph adjacency directly — nodes learn topology only
+    through the views/engine message API). *)
+
+val rules : Rule.t list

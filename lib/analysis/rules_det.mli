@@ -1,0 +1,6 @@
+(** Determinism rules: sources of run-to-run nondeterminism that would
+    poison blessed baselines — unordered hashtable iteration escaping,
+    ambient (unseeded) randomness, wall-clock reads in measured paths,
+    and raw stdout printing from library code. *)
+
+val rules : Rule.t list

@@ -1,0 +1,77 @@
+type directive = { line : int; file_wide : bool; rules : string list }
+
+type t = directive list
+
+let empty = []
+
+let marker = "shadescheck:"
+
+(* find [needle] in [hay] starting at [from], or None *)
+let find_sub hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let is_sep c = c = ' ' || c = '\t' || c = ','
+
+let tokens_until_close s =
+  (* split on spaces/commas, stopping at "--" (reason) or "*)" *)
+  let rec go acc toks =
+    match toks with
+    | [] -> List.rev acc
+    | t :: rest ->
+        if t = "--" || t = "*)" then List.rev acc
+        else if t = "" then go acc rest
+        else
+          (* a token glued to the comment close, e.g. "foo*)" *)
+          let t =
+            match find_sub t "*)" 0 with
+            | Some i -> String.sub t 0 i
+            | None -> t
+          in
+          if t = "" then List.rev acc else go (t :: acc) rest
+  in
+  go []
+    (String.split_on_char ' '
+       (String.map (fun c -> if is_sep c then ' ' else c) s))
+
+let parse_line line_no line =
+  match find_sub line marker 0 with
+  | None -> None
+  | Some i -> (
+      let rest = String.sub line (i + String.length marker)
+                   (String.length line - i - String.length marker) in
+      match tokens_until_close rest with
+      | "allow" :: rules when rules <> [] ->
+          Some { line = line_no; file_wide = false; rules }
+      | "allow-file" :: rules when rules <> [] ->
+          Some { line = line_no; file_wide = true; rules }
+      | _ -> None)
+
+let scan text =
+  let lines = String.split_on_char '\n' text in
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (no, acc) line ->
+            ( no + 1,
+              match parse_line no line with
+              | Some d -> d :: acc
+              | None -> acc ))
+          (1, []) lines))
+
+let names_rule d rule =
+  List.exists (fun r -> r = rule || r = "all") d.rules
+
+let allows t ~rule ~line =
+  List.exists
+    (fun d ->
+      names_rule d rule
+      && (d.file_wide || d.line = line || d.line = line - 1))
+    t
+
+let count t = List.length t

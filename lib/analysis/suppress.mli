@@ -1,0 +1,37 @@
+(** Inline suppression comments.
+
+    A finding can be silenced at the source line that triggers it, with
+    a comment naming the rule (and ideally a justification):
+
+    {v
+    (* shadescheck: allow <rule>[,<rule>...] [-- reason] *)
+    (* shadescheck: allow-file <rule>[,<rule>...] [-- reason] *)
+    v}
+
+    [allow] scopes to the comment's own line and the next line, so it
+    works both trailing the offending expression and on the line above
+    it.  [allow-file] scopes to the whole file — for modules that are
+    exempt from a rule by design (e.g. an offline verifier and the
+    locality rule).  The rule list also accepts [all].
+
+    Suppressions are scanned textually from the source file recorded in
+    the [.cmt], so they need no ppx and survive any build mode. *)
+
+type t
+(** The suppression table of one source file. *)
+
+val scan : string -> t
+(** [scan source_text] collects every suppression comment.  Lines are
+    1-based, matching {!Finding.t}. *)
+
+val empty : t
+(** No suppressions — used when the source file cannot be read. *)
+
+val allows : t -> rule:string -> line:int -> bool
+(** Is a finding of [rule] at [line] suppressed (by a line-scoped
+    [allow] on this or the preceding line, or a file-scoped
+    [allow-file])? *)
+
+val count : t -> int
+(** Number of suppression comments scanned (reported, so a tree full of
+    silenced findings is visible in the summary). *)

@@ -1,5 +1,9 @@
 module Port_graph = Shades_graph.Port_graph
 
+(* shadescheck: allow-file locality -- global flood-cost model: this
+   module simulates the whole flood centrally to count rounds/messages;
+   it is analysis tooling, not a node algorithm run by the engine *)
+
 type result = { received : bool array; rounds : int; messages : int }
 
 let run g ~selection ~payload =

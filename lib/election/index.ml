@@ -2,6 +2,10 @@ module Port_graph = Shades_graph.Port_graph
 module Paths = Shades_graph.Paths
 module Refinement = Shades_views.Refinement
 
+(* shadescheck: allow-file locality -- election-index computation is
+   offline by definition: psi_* search over all candidate outputs needs
+   the whole graph in hand; nothing here runs inside a node algorithm *)
+
 type vertex = Port_graph.vertex
 
 (* Try to assign a common output to every non-leader class.  [assign]

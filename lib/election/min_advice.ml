@@ -1,6 +1,10 @@
 module Port_graph = Shades_graph.Port_graph
 module View_tree = Shades_views.View_tree
 
+(* shadescheck: allow-file locality -- advice-minimality analysis runs
+   on the oracle side: the advisor sees the whole graph (that is the
+   advice model), so census/sharability search legitimately reads it *)
+
 (* View census of a graph at the given depth: canonical key -> count. *)
 let census ~depth g =
   let counts = Hashtbl.create 64 in
@@ -123,10 +127,11 @@ let pe_sharable ~depth g1 g2 =
     List.length (Option.value ~default:[] (Hashtbl.find_opt m key))
   in
   let keys =
-    let all = Hashtbl.create 64 in
-    Hashtbl.iter (fun k _ -> Hashtbl.replace all k ()) m1;
-    Hashtbl.iter (fun k _ -> Hashtbl.replace all k ()) m2;
-    Hashtbl.fold (fun k () acc -> k :: acc) all []
+    List.sort_uniq String.compare
+      (Hashtbl.fold
+         (fun k _ acc -> k :: acc)
+         m1
+         (Hashtbl.fold (fun k _ acc -> k :: acc) m2 []))
   in
   (* Candidate leader views per graph: occur exactly once there. *)
   let singles m = List.filter (fun k -> count m k = 1) keys in

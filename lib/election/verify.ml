@@ -1,6 +1,10 @@
 module Port_graph = Shades_graph.Port_graph
 module Paths = Shades_graph.Paths
 
+(* shadescheck: allow-file locality -- the task verifiers check node
+   outputs against the ground-truth graph after a run; they sit on the
+   adversary side of the model and never execute inside a node *)
+
 type vertex = Port_graph.vertex
 
 let find_leader answers =

@@ -297,8 +297,12 @@ let cppe_scheme t =
                  classes"
       )
       answers;
+    (* canonical key order: the advice encoding must not depend on the
+       table's unspecified hash order *)
     encode_table ~k:t.params.k
-      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+      (List.sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
   in
   {
     Scheme.name = "J-class CPPE (Lemma 4.8)";

@@ -39,6 +39,7 @@ type job = {
   family : string;
   params : point;
   cost : int;
+  engine : Trace.engine;
   exec : tracer:(Shades_trace.Event.t -> unit) option -> Metrics.t -> outcome;
 }
 
@@ -58,16 +59,14 @@ let ipow base exp =
    (messages sent per engine round) is always recorded, tracer or not,
    so traced and untraced runs of the same job produce byte-identical
    store records. *)
-let elect ?tracer metrics scheme verify g =
+let elect_with ?tracer metrics ~run ~verify g =
   let messages = ref 0 in
   let on_round ~round:_ ~messages:m =
     Metrics.observe metrics "round_messages" (float_of_int (m - !messages));
     messages := m;
     Metrics.incr metrics "engine_rounds"
   in
-  let r =
-    Metrics.time metrics "elect" (fun () -> Scheme.run ~on_round ?tracer scheme g)
-  in
+  let r = Metrics.time metrics "elect" (fun () -> run ~on_round ~tracer g) in
   let verified =
     Metrics.time metrics "verify" (fun () ->
         Result.is_ok (verify g r.Scheme.outputs))
@@ -79,6 +78,19 @@ let elect ?tracer metrics scheme verify g =
     graph_order = Port_graph.order g;
     verified;
   }
+
+let elect ?tracer metrics scheme verify g =
+  elect_with ?tracer metrics ~verify g ~run:(fun ~on_round ~tracer g ->
+      Scheme.run ~on_round ?tracer scheme g)
+
+(* The α-synchronizer variant: identical telemetry discipline, delays
+   drawn from the engine's own PRNG seeded with [seed] — so the run
+   (and its trace) is a pure function of (graph, scheme, seed).  The
+   [messages] telemetry is the count at the last round start, as for
+   the synchronous engine. *)
+let elect_async ?tracer ~seed metrics scheme verify g =
+  elect_with ?tracer metrics ~verify g ~run:(fun ~on_round ~tracer g ->
+      Scheme.run_async ~seed ~on_round ?tracer scheme g)
 
 (* Projected node counts, used only to order jobs largest-first (the
    classic longest-processing-time heuristic): they must be cheap and
@@ -116,6 +128,7 @@ let gclass_job point =
             family = "g";
             params = point;
             cost = gclass_cost ~delta ~k ~i;
+            engine = Trace.Sync;
             exec =
               (fun ~tracer metrics ->
                 let t = Metrics.time metrics "build" (fun () -> Gclass.build p ~i) in
@@ -146,6 +159,7 @@ let uclass_job point =
               family = "u";
               params = point;
               cost = uclass_cost ~delta ~k ~y;
+              engine = Trace.Sync;
               exec =
                 (fun ~tracer metrics ->
                   let t =
@@ -182,6 +196,7 @@ let jclass_job ?(max_order = default_max_order) ~metrics point =
               family = "j";
               params = point;
               cost = order;
+              engine = Trace.Sync;
               exec =
                 (fun ~tracer metrics ->
                   let t =
@@ -194,7 +209,36 @@ let jclass_job ?(max_order = default_max_order) ~metrics point =
       end
   | _ -> None
 
+(* Same G-class instances, driven through the α-synchronizer with
+   seeded adversarial delays.  The outputs and round count must equal
+   the synchronous run (the scheme is oblivious to timing); what the
+   async family pins down in baselines is the *trace*: delay draws,
+   sync markers and message interleaving as a function of the seed. *)
+let gclass_async_job point =
+  match gclass_job point with
+  | None -> None
+  | Some job ->
+      let point = with_default job.params "seed" 0 in
+      let seed = Option.get (value point "seed") in
+      let delta = Option.get (value point "delta")
+      and k = Option.get (value point "k")
+      and i = Option.get (value point "i") in
+      let p = { Gclass.delta; k } in
+      Some
+        {
+          job with
+          family = "g-async";
+          params = point;
+          engine = Trace.Async { seed };
+          exec =
+            (fun ~tracer metrics ->
+              let t = Metrics.time metrics "build" (fun () -> Gclass.build p ~i) in
+              elect_async ?tracer ~seed metrics Select_by_view.scheme
+                Verify.selection t.Gclass.graph);
+        }
+
 let gclass_jobs points = List.filter_map gclass_job points
+let gclass_async_jobs points = List.filter_map gclass_async_job points
 let uclass_jobs points = List.filter_map uclass_job points
 
 let jclass_jobs ?max_order ~metrics points =
@@ -205,7 +249,17 @@ let jclass_jobs ?max_order ~metrics points =
 let tiny_points =
   cross [ range "delta" ~lo:3 ~hi:4; range "k" ~lo:1 ~hi:1; axis "i" [ 2 ] ]
 
-let tiny_jobs () = gclass_jobs tiny_points
+(* One async point rides along so the gates (store compare and trace
+   forensics alike) pin the seeded α-synchronizer schedule, not just
+   the synchronous engine. *)
+let tiny_async_points =
+  cross
+    [
+      range "delta" ~lo:3 ~hi:3; range "k" ~lo:1 ~hi:1; axis "i" [ 2 ];
+      axis "seed" [ 0 ];
+    ]
+
+let tiny_jobs () = gclass_jobs tiny_points @ gclass_async_jobs tiny_async_points
 
 let record_of_job ?tracer job =
   let metrics = Metrics.create () in
@@ -262,7 +316,7 @@ let run_traced ?domains ?capacity ?baseline jobs =
         let record, outcome = record_of_job ~tracer:(Trace.emit r) job in
         let meta =
           {
-            Trace.engine = Trace.Sync;
+            Trace.engine = job.engine;
             graph_order = outcome.graph_order;
             advice_bits = outcome.advice_bits;
             label = label_of_job job;

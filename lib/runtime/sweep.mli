@@ -35,12 +35,17 @@ type outcome = {
 }
 
 type job = {
-  family : string;  (** "g", "u" or "j" — recorded as the [family] param *)
+  family : string;
+      (** "g", "g-async", "u" or "j" — recorded as the [family] param *)
   params : point;
   cost : int;
       (** projected node count of the instance — the scheduling weight
           {!run} sorts by (largest first); a cheap deterministic
           estimate, not a promise *)
+  engine : Shades_trace.Trace.engine;
+      (** which simulator drives [exec] — [Sync] for the round-driven
+          engine, [Async {seed}] for the α-synchronizer; stamped into
+          the captured trace's metadata by {!run_traced} *)
   exec : tracer:(Shades_trace.Event.t -> unit) option -> Metrics.t -> outcome;
       (** runs the job; [tracer] (if any) receives the engine's event
           stream and must not change the metrics the job records —
@@ -75,7 +80,18 @@ val jclass_job : ?max_order:int -> metrics:Metrics.t -> point -> job option
     {e sweep-level} registry, distinct from the per-job registries
     {!run} creates). *)
 
+val gclass_async_job : point -> job option
+(** The {!gclass_job} instance driven through the α-synchronizer
+    ({!Shades_election.Scheme.run_async}) instead of the synchronous
+    engine: family ["g-async"], extra point key [seed] (default 0)
+    feeding the engine's delay PRNG.  Outputs, rounds and verification
+    must match the synchronous run (the scheme is timing-oblivious);
+    what this family pins down in blessed baselines is the seeded
+    schedule itself — delay draws, [Sync_marker]s and message
+    interleaving as a function of [(point, seed)]. *)
+
 val gclass_jobs : point list -> job list
+val gclass_async_jobs : point list -> job list
 val uclass_jobs : point list -> job list
 (** Valid jobs for every point of a grid, in grid order (invalid
     points are dropped). *)
@@ -90,8 +106,13 @@ val tiny_points : point list
     — the smoke grid behind [sweep --tiny], the [make check] regression
     gate, and the committed [BENCH_tiny/] baseline. *)
 
+val tiny_async_points : point list
+(** The async rider on the tiny grid: the ∆ = 3 point with [seed = 0],
+    run as a ["g-async"] job so both gates also pin the seeded
+    α-synchronizer schedule. *)
+
 val tiny_jobs : unit -> job list
-(** [gclass_jobs tiny_points]. *)
+(** [gclass_jobs tiny_points @ gclass_async_jobs tiny_async_points]. *)
 
 val run : ?domains:int -> job list -> Store.record list
 (** Execute the jobs on a {!Pool} ([domains] as in {!Pool.map}) and

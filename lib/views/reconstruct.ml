@@ -73,7 +73,12 @@ let graph_of_cview ctx view ~n =
                 Hashtbl.add next child.Cview.id child)
             node.Cview.children)
         !level;
-      level := Hashtbl.fold (fun _ node acc -> node :: acc) next [];
+      (* canonical order: vertex numbering follows cview ids, not the
+         table's unspecified hash order *)
+      level :=
+        List.sort
+          (fun (a : Cview.t) (b : Cview.t) -> Int.compare a.Cview.id b.Cview.id)
+          (Hashtbl.fold (fun _ node acc -> node :: acc) next []);
       incr depth
     done;
     if !fresh <> n then
@@ -81,10 +86,11 @@ let graph_of_cview ctx view ~n =
         (Printf.sprintf
            "Reconstruct: found %d distinct vertices, expected %d" !fresh n);
     let edges =
-      Hashtbl.fold
-        (fun (v, p) (u, q) acc ->
-          if (v, p) < (u, q) then ((v, p), (u, q)) :: acc else acc)
-        port_map []
+      List.sort compare
+        (Hashtbl.fold
+           (fun (v, p) (u, q) acc ->
+             if (v, p) < (u, q) then ((v, p), (u, q)) :: acc else acc)
+           port_map [])
     in
     (Port_graph.of_edges n edges, root_vertex)
   end

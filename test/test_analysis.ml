@@ -1,0 +1,336 @@
+module Lint = Shades_analysis.Lint
+module Report = Shades_analysis.Report
+module Finding = Shades_analysis.Finding
+module Suppress = Shades_analysis.Suppress
+module Json = Shades_json.Json
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Each fixture is a throwaway project: sources written under a temp
+   root, compiled with `ocamlc -bin-annot -c` from that root so the
+   .cmt records the same root-relative source path dune would, then
+   linted in place (discover falls back to the source tree when the
+   root has no _build mirror). *)
+
+let fixture_count = ref 0
+
+let with_fixture files =
+  incr fixture_count;
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shadescheck_fixture_%d_%d" (Unix.getpid ())
+         !fixture_count)
+  in
+  let rec mkdirs d =
+    if not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  List.iter
+    (fun (path, text) ->
+      let abs = Filename.concat root path in
+      mkdirs (Filename.dirname abs);
+      let oc = open_out abs in
+      output_string oc text;
+      close_out oc)
+    files;
+  let cwd = Sys.getcwd () in
+  Sys.chdir root;
+  Fun.protect
+    ~finally:(fun () -> Sys.chdir cwd)
+    (fun () ->
+      List.iter
+        (fun (path, _) ->
+          let cmd =
+            Printf.sprintf "ocamlc -bin-annot -I %s -c %s"
+              (Filename.quote (Filename.dirname path))
+              (Filename.quote path)
+          in
+          if Sys.command cmd <> 0 then
+            Alcotest.failf "fixture compilation failed: %s" cmd)
+        files);
+  root
+
+let lint ?rules ?(paths = [ "lib" ]) files =
+  let root = with_fixture files in
+  Lint.run ?rules ~root ~paths ()
+
+let report ?rules ?paths files =
+  match lint ?rules ?paths files with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "lint failed: %s" e
+
+let rules_of r = List.map (fun f -> f.Finding.rule) r.Report.findings
+
+(* --- the determinism rules, one violating and one clean fixture each --- *)
+
+let test_hashtbl_order () =
+  let bad =
+    report
+      ~rules:[ "hashtbl-order" ]
+      [ ("lib/bad.ml", "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n") ]
+  in
+  Alcotest.(check (list string)) "fold outside sort flagged"
+    [ "hashtbl-order" ] (rules_of bad);
+  Alcotest.(check int) "exit 1" 1 (Lint.exit_code (Ok bad));
+  let clean =
+    report
+      ~rules:[ "hashtbl-order" ]
+      [
+        ( "lib/good.ml",
+          "let f h =\n\
+          \  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])\n\
+           let g h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort \
+           compare\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "sorted context not flagged" [] (rules_of clean);
+  Alcotest.(check int) "exit 0" 0 (Lint.exit_code (Ok clean))
+
+let test_ambient_randomness () =
+  let bad =
+    report
+      ~rules:[ "ambient-randomness" ]
+      [ ("lib/bad.ml", "let roll () = Random.int 6\n") ]
+  in
+  Alcotest.(check (list string)) "global PRNG flagged"
+    [ "ambient-randomness" ] (rules_of bad);
+  let clean =
+    report
+      ~rules:[ "ambient-randomness" ]
+      [ ("lib/good.ml", "let roll st = Random.State.int st 6\n") ]
+  in
+  Alcotest.(check (list string)) "seeded state not flagged" [] (rules_of clean)
+
+let test_wall_clock () =
+  let src = "let stamp () = Sys.time ()\n" in
+  let bad =
+    report ~rules:[ "wall-clock-in-measured-path" ] [ ("lib/bad.ml", src) ]
+  in
+  Alcotest.(check (list string)) "clock read in lib flagged"
+    [ "wall-clock-in-measured-path" ] (rules_of bad);
+  let outside =
+    report
+      ~rules:[ "wall-clock-in-measured-path" ]
+      ~paths:[ "app" ]
+      [ ("app/ok.ml", src) ]
+  in
+  Alcotest.(check (list string)) "same read outside lib/ not flagged" []
+    (rules_of outside)
+
+let test_direct_stdout () =
+  let bad =
+    report
+      ~rules:[ "direct-stdout-in-lib" ]
+      [ ("lib/bad.ml", "let shout () = print_endline \"hi\"\n") ]
+  in
+  Alcotest.(check (list string)) "print_endline in lib flagged"
+    [ "direct-stdout-in-lib" ] (rules_of bad);
+  let clean =
+    report
+      ~rules:[ "direct-stdout-in-lib" ]
+      [ ("lib/good.ml", "let shout fmt = Format.fprintf fmt \"hi\"\n") ]
+  in
+  Alcotest.(check (list string)) "explicit formatter not flagged" []
+    (rules_of clean)
+
+(* --- architecture rules --- *)
+
+let test_missing_mli () =
+  let bad =
+    report ~rules:[ "missing-mli" ] [ ("lib/naked.ml", "let x = 1\n") ]
+  in
+  Alcotest.(check (list string)) "bare .ml flagged" [ "missing-mli" ]
+    (rules_of bad);
+  (* interface first, so the .ml compiles against it *)
+  let clean =
+    report ~rules:[ "missing-mli" ]
+      [ ("lib/dressed.mli", "val x : int\n"); ("lib/dressed.ml", "let x = 1\n") ]
+  in
+  Alcotest.(check (list string)) "paired .ml not flagged" [] (rules_of clean)
+
+let locality_fixture body =
+  (* A stand-in Port_graph with the adversary-only oracle; the rule
+     matches the path name, so a local stub triggers it exactly like
+     the real module does. *)
+  ( "lib/election/fixture.ml",
+    "module Port_graph = struct\n\
+    \  let neighbor_vertex g v p = ignore g; v + p\n\
+    \  let degree g v = ignore g; v\n\
+     end\n" ^ body )
+
+let test_locality () =
+  let bad =
+    report
+      ~rules:[ "locality" ]
+      [ locality_fixture "let peek g v = Port_graph.neighbor_vertex g v 0\n" ]
+  in
+  Alcotest.(check (list string)) "adjacency read in lib/election flagged"
+    [ "locality" ] (rules_of bad);
+  let local_facts =
+    report
+      ~rules:[ "locality" ]
+      [ locality_fixture "let deg g v = Port_graph.degree g v\n" ]
+  in
+  Alcotest.(check (list string)) "port-local facts allowed" []
+    (rules_of local_facts);
+  let outside =
+    report
+      ~rules:[ "locality" ]
+      [
+        ( "lib/families/fixture.ml",
+          "module Port_graph = struct\n\
+          \  let neighbor_vertex g v p = ignore g; v + p\n\
+           end\n\
+           let peek g v = Port_graph.neighbor_vertex g v 0\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "same read outside lib/election allowed" []
+    (rules_of outside)
+
+(* --- suppression --- *)
+
+let test_suppression () =
+  let line =
+    report
+      ~rules:[ "hashtbl-order" ]
+      [
+        ( "lib/hushed.ml",
+          "(* shadescheck: allow hashtbl-order -- test fixture *)\n\
+           let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "line allow honoured" [] (rules_of line);
+  Alcotest.(check int) "suppressed counted" 1 line.Report.suppressed;
+  Alcotest.(check int) "suppressed run exits 0" 0 (Lint.exit_code (Ok line));
+  let file_wide =
+    report
+      ~rules:[ "hashtbl-order" ]
+      [
+        ( "lib/hushed.ml",
+          "(* shadescheck: allow-file all -- test fixture *)\n\n\n\
+           let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "allow-file all honoured" []
+    (rules_of file_wide);
+  let wrong_rule =
+    report
+      ~rules:[ "hashtbl-order" ]
+      [
+        ( "lib/loud.ml",
+          "(* shadescheck: allow locality *)\n\
+           let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "allow for another rule does not leak"
+    [ "hashtbl-order" ] (rules_of wrong_rule)
+
+(* --- driver contract --- *)
+
+let test_rule_selection () =
+  let both_src =
+    ( "lib/both.ml",
+      "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n\
+       let roll () = Random.int 6\n" )
+  in
+  let only =
+    report ~rules:[ "ambient-randomness" ] [ both_src ]
+  in
+  Alcotest.(check (list string)) "--rules restricts the registry"
+    [ "ambient-randomness" ] (rules_of only);
+  match lint ~rules:[ "no-such-rule" ] [ both_src ] with
+  | Ok _ -> Alcotest.fail "unknown rule must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error names the rule" true
+        (contains_sub e "no-such-rule")
+
+let test_exit_codes () =
+  Alcotest.(check int) "load failure is 2" 2
+    (Lint.exit_code (Lint.run ~root:"/nonexistent_shadescheck" ~paths:[ "lib" ] ()));
+  let clean = report [ ("lib/tidy.mli", "val x : int\n"); ("lib/tidy.ml", "let x = 1\n") ] in
+  Alcotest.(check int) "clean tree is 0" 0 (Lint.exit_code (Ok clean))
+
+let test_json_roundtrip () =
+  let r =
+    report
+      ~rules:[ "hashtbl-order"; "missing-mli" ]
+      [ ("lib/bad.ml", "let f h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n") ]
+  in
+  let json = Report.to_json r in
+  match Json.of_string (Json.to_string json) with
+  | Error e -> Alcotest.failf "report JSON does not reparse: %s" e
+  | Ok parsed ->
+      Alcotest.(check bool) "deterministic rendering" true (parsed = json);
+      Alcotest.(check (option bool)) "clean member" (Some false)
+        (match Json.member "clean" parsed with
+        | Some (Json.Bool b) -> Some b
+        | _ -> None);
+      let findings =
+        match Json.member "findings" parsed with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "findings member missing"
+      in
+      Alcotest.(check int) "both rules fired" 2 (List.length findings);
+      List.iter
+        (fun f ->
+          List.iter
+            (fun k ->
+              if Json.member k f = None then
+                Alcotest.failf "finding lacks %S member" k)
+            [ "rule"; "severity"; "file"; "line"; "col"; "message" ])
+        findings
+
+(* --- the shipped tree itself --- *)
+
+let test_self_check () =
+  (* Tests run in _build/default/test, so the parent directory is the
+     build tree every .cmt of every library lives in: the lint's own
+     acceptance test is that the shipped lib/ is clean under the full
+     registry, with every shipped suppression visible in the tally. *)
+  let root = Filename.dirname (Sys.getcwd ()) in
+  match Lint.run ~root ~paths:[ "lib" ] () with
+  | Error e -> Alcotest.failf "self-check could not load the build tree: %s" e
+  | Ok r ->
+      List.iter
+        (fun f -> Printf.printf "unexpected: %s %s:%d\n" f.Finding.rule f.Finding.file f.Finding.line)
+        r.Report.findings;
+      Alcotest.(check (list string)) "shipped lib/ lints clean" []
+        (rules_of r);
+      Alcotest.(check bool) "suppressions are tallied, not hidden" true
+        (r.Report.suppressed > 0);
+      Alcotest.(check bool) "a real population of units" true
+        (r.Report.units > 30);
+      Alcotest.(check int) "and the tree exits 0" 0 (Lint.exit_code (Ok r))
+
+let () =
+  Alcotest.run "shades_analysis"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "hashtbl-order" `Quick test_hashtbl_order;
+          Alcotest.test_case "ambient-randomness" `Quick
+            test_ambient_randomness;
+          Alcotest.test_case "wall-clock-in-measured-path" `Quick
+            test_wall_clock;
+          Alcotest.test_case "direct-stdout-in-lib" `Quick test_direct_stdout;
+          Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+          Alcotest.test_case "locality" `Quick test_locality;
+        ] );
+      ( "suppression",
+        [ Alcotest.test_case "allow grammar" `Quick test_suppression ] );
+      ( "driver",
+        [
+          Alcotest.test_case "--rules selection" `Quick test_rule_selection;
+          Alcotest.test_case "exit-code contract" `Quick test_exit_codes;
+          Alcotest.test_case "JSON report round-trip" `Quick
+            test_json_roundtrip;
+        ] );
+      ( "self",
+        [ Alcotest.test_case "shipped lib/ is clean" `Quick test_self_check ] );
+    ]
