@@ -14,8 +14,13 @@ GATE_REPORT ?= /tmp/shades_gate_report.json
 # Where `shades lint` writes its JSON findings report — same CI
 # override story as the gate report.
 LINT_REPORT ?= /tmp/shades_lint_report.json
+# The serve smoke test's socket and final metrics snapshot.  CI
+# overrides SERVE_METRICS to a workspace path so a failing smoke run
+# uploads the daemon's own counters as an artifact.
+SERVE_SOCKET ?= /tmp/shades_serve_smoke.sock
+SERVE_METRICS ?= /tmp/shades_serve_metrics.json
 
-.PHONY: all check build test lint smoke sweep bless doc bench clean
+.PHONY: all check build test lint smoke serve-smoke sweep bless doc bench clean
 
 all: check
 
@@ -55,6 +60,17 @@ check:
 	@mkdir -p $(dir $(GATE_REPORT))
 	dune exec bin/shades_cli.exe -- trace gate -b BENCH_tiny/traces \
 	    --json $(GATE_REPORT)
+	@mkdir -p $(dir $(SERVE_METRICS))
+	SERVE_SOCKET=$(SERVE_SOCKET) SERVE_METRICS=$(SERVE_METRICS) \
+	    sh scripts/serve_smoke.sh
+
+# Boot the daemon on a Unix socket, hit every endpoint once through the
+# client, and assert a repeated advise is a cache hit (no oracle rerun).
+serve-smoke:
+	dune build @all
+	@mkdir -p $(dir $(SERVE_METRICS))
+	SERVE_SOCKET=$(SERVE_SOCKET) SERVE_METRICS=$(SERVE_METRICS) \
+	    sh scripts/serve_smoke.sh
 
 smoke:
 	@mkdir -p $(dir $(SMOKE_OUT))

@@ -1,0 +1,135 @@
+(* Cold-vs-warm load generator for the election daemon.
+
+   Starts a daemon in-process on a private Unix socket, then measures
+   per-request advise latency in two phases:
+
+     cold: N distinct topologies, every request a cache miss — each
+           pays spec parsing + canonicalization + the oracle;
+     warm: N repeats of one topology, every request after the first a
+           memo hit — each pays spec parsing + one O(n+m) digest.
+
+   Prints both medians and their ratio, plus the daemon's own counters
+   (advise_computes must not move during the warm phase).  With
+   --assert the exit code enforces the PR's acceptance bar: warm
+   median >= 10x below cold, zero warm-phase oracle runs. *)
+
+module Json = Shades_json.Json
+module Server = Shades_server
+
+let usage = "serve_bench [--requests N] [--order N] [--assert]"
+
+let requests = ref 40
+let order = ref 80
+let enforce = ref false
+
+let () =
+  Arg.parse
+    [
+      ("--requests", Arg.Set_int requests, "requests per phase (default 40)");
+      ("--order", Arg.Set_int order, "smallest benched path order (default 80)");
+      ("--assert", Arg.Set enforce, "exit 1 unless warm is >= 10x faster");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage
+
+let median samples =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let counter stats name =
+  match Json.member "counters" stats with
+  | Some counters -> (
+      match Json.member name counters with
+      | Some v -> (
+          match Json.member "value" v with Some (Json.Int n) -> n | _ -> 0)
+      | None -> 0)
+  | _ -> 0
+
+let () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shades-bench-%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Server.Protocol.Unix_path socket in
+  let service = Server.Service.create () in
+  let daemon =
+    Domain.spawn (fun () -> Server.Daemon.run ~domains:2 endpoint service)
+  in
+  (* wait for the listener to come up *)
+  let conn =
+    let rec retry n =
+      match Server.Client.connect endpoint with
+      | Ok c -> c
+      | Error e ->
+          if n = 0 then failwith ("daemon never came up: " ^ e)
+          else (
+            Unix.sleepf 0.05;
+            retry (n - 1))
+    in
+    retry 100
+  in
+  let advise spec =
+    let req =
+      Json.Obj
+        [
+          ("op", Json.String "advise");
+          ("graph", Json.String spec);
+          ("task", Json.String "pe");
+        ]
+    in
+    let t0 = Unix.gettimeofday () in
+    (match Server.Client.request conn req with
+    | Ok (Json.Obj _ as r) when Json.member "error" r = None -> ()
+    | Ok r -> failwith ("advise failed: " ^ Json.to_string r)
+    | Error e -> failwith ("advise failed: " ^ e));
+    Unix.gettimeofday () -. t0
+  in
+  let request_stats () =
+    match Server.Client.request conn (Json.Obj [ ("op", Json.String "stats") ]) with
+    | Ok r -> (
+        match Json.member "result" r with
+        | Some s -> s
+        | None -> failwith "stats reply has no result")
+    | Error e -> failwith ("stats failed: " ^ e)
+  in
+  let n = !requests in
+  (* cold: every topology distinct (distinct orders => distinct digests) *)
+  let cold =
+    Array.init n (fun i -> advise (Printf.sprintf "path:%d" (!order + (2 * (i + 1)))))
+  in
+  let stats_after_cold = request_stats () in
+  (* warm: one topology, repeated — first request primes it *)
+  let warm_spec = Printf.sprintf "path:%d" !order in
+  ignore (advise warm_spec);
+  let warm = Array.init n (fun _ -> advise warm_spec) in
+  let stats_after_warm = request_stats () in
+  ignore
+    (Server.Client.request conn (Json.Obj [ ("op", Json.String "shutdown") ]));
+  Server.Client.close conn;
+  Domain.join daemon;
+  let cold_ms = 1000. *. median cold and warm_ms = 1000. *. median warm in
+  let ratio = cold_ms /. warm_ms in
+  let computes_cold = counter stats_after_cold "advise_computes" in
+  let computes_warm =
+    counter stats_after_warm "advise_computes" - computes_cold - 1
+    (* the priming request legitimately computes once *)
+  in
+  let hits = counter stats_after_warm "advice_cache_hits" in
+  Printf.printf "advise over unix socket, path graphs, %d requests per phase\n"
+    n;
+  Printf.printf "  cold (distinct topologies) median: %8.3f ms\n" cold_ms;
+  Printf.printf "  warm (repeated topology)   median: %8.3f ms\n" warm_ms;
+  Printf.printf "  cold/warm ratio:                   %8.1fx\n" ratio;
+  Printf.printf "  oracle runs: %d cold phase, %d warm phase (cache hits: %d)\n"
+    computes_cold computes_warm hits;
+  if !enforce then
+    if ratio < 10. then (
+      Printf.printf "FAIL: warm advise is not >= 10x faster than cold\n";
+      exit 1)
+    else if computes_warm > 0 then (
+      Printf.printf "FAIL: the warm phase recomputed advice %d times\n"
+        computes_warm;
+      exit 1)
+    else Printf.printf "PASS: warm >= 10x faster, zero warm recomputation\n"

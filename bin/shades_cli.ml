@@ -11,46 +11,14 @@
 
 open Cmdliner
 open Shades_graph
+module Json = Shades_json.Json
 open Shades_views
 open Shades_election
 open Shades_families
 
-let parse_graph spec =
-  match String.split_on_char ':' spec with
-  | [ "ring"; n ] -> Gen.oriented_ring (int_of_string n)
-  | [ "path"; n ] -> Gen.path (int_of_string n)
-  | [ "star"; n ] -> Gen.star (int_of_string n)
-  | [ "clique"; n ] -> Gen.clique (int_of_string n)
-  | [ "random"; args ] -> (
-      match String.split_on_char ',' args with
-      | [ seed; n; extra ] ->
-          Gen.random
-            (Random.State.make [| int_of_string seed |])
-            (int_of_string n) ~extra_edges:(int_of_string extra)
-      | _ -> failwith "random:<seed>,<n>,<extra-edges>")
-  | [ "line-ports"; ports ] ->
-      let ps = String.split_on_char ',' ports |> List.map int_of_string in
-      let rec pair = function
-        | [] -> []
-        | p :: q :: rest -> (p, q) :: pair rest
-        | [ _ ] -> failwith "line-ports needs an even number of ports"
-      in
-      Gen.path_with_ports (pair ps)
-  | [ "gclass"; args ] -> (
-      match String.split_on_char ',' args |> List.map int_of_string with
-      | [ delta; k; i ] -> (Gclass.build { Gclass.delta; k } ~i).Gclass.graph
-      | _ -> failwith "gclass:<delta>,<k>,<i>")
-  | [ "uclass"; args ] -> (
-      match String.split_on_char ',' args |> List.map int_of_string with
-      | [ delta; k; sigma ] ->
-          let p = { Uclass.delta; k } in
-          (Uclass.build p ~sigma:(Uclass.uniform_sigma p sigma)).Uclass.graph
-      | _ -> failwith "uclass:<delta>,<k>,<sigma>")
-  | _ ->
-      failwith
-        "graph spec: ring:<n> | path:<n> | star:<n> | clique:<n> | \
-         random:<seed>,<n>,<extra> | line-ports:<p1>,<q1>,... | \
-         gclass:<delta>,<k>,<i> | uclass:<delta>,<k>,<sigma>"
+(* The spec grammar lives in the server library so the CLI and the
+   daemon's wire protocol accept exactly the same strings. *)
+let parse_graph = Shades_server.Spec.parse_exn
 
 let graph_arg =
   Arg.(
@@ -1069,6 +1037,283 @@ let family_j_cmd =
        ~doc:"Build a (scaled) graph of the class J (Section 4).")
     Term.(const run $ mu_arg $ k4_arg $ z_arg)
 
+(* --- serve / client --- *)
+
+(* The daemon subcommands' exit codes are part of their contract
+   (scripts/serve_smoke.sh and CI distinguish a server-side rejection
+   from an unreachable endpoint): 0 = success, 1 = the server answered
+   with an error or an invalid verification verdict, 2 = the endpoint
+   could not be bound or reached. *)
+let server_exits =
+  [
+    Cmdliner.Cmd.Exit.info 0 ~doc:"on success (clean shutdown / ok reply).";
+    Cmdliner.Cmd.Exit.info 1
+      ~doc:
+        "when the server answers with an error reply or an invalid \
+         verification verdict.";
+    Cmdliner.Cmd.Exit.info 2
+      ~doc:"when the endpoint cannot be bound or reached.";
+    Cmdliner.Cmd.Exit.info 124 ~doc:"on command line parsing errors.";
+    Cmdliner.Cmd.Exit.info 125 ~doc:"on unexpected internal errors (bugs).";
+  ]
+
+let endpoint_conv =
+  let parse s =
+    match Shades_server.Protocol.endpoint_of_string s with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (Shades_server.Protocol.endpoint_to_string e)
+  in
+  Arg.conv (parse, print) ~docv:"ENDPOINT"
+
+let default_endpoint = "unix:/tmp/shades.sock"
+
+let serve_cmd =
+  let open Shades_server in
+  let run listen domains cache_capacity max_frame metrics_out quiet =
+    let service = Service.create ~cache_capacity () in
+    let log =
+      if quiet then fun _ -> ()
+      else fun m -> Printf.eprintf "shades-serve: %s\n%!" m
+    in
+    let write_metrics () =
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Json.to_string (Service.stats_json service));
+          output_char oc '\n';
+          close_out oc;
+          log ("metrics written to " ^ path))
+        metrics_out
+    in
+    match Daemon.run ?domains ~max_frame ~log listen service with
+    | () -> write_metrics ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "shades-serve: cannot serve on %s: %s\n"
+          (Protocol.endpoint_to_string listen)
+          (Unix.error_message e);
+        write_metrics ();
+        exit 2
+    | exception Failure msg ->
+        Printf.eprintf "shades-serve: %s\n" msg;
+        write_metrics ();
+        exit 2
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt endpoint_conv
+          (Result.get_ok (Protocol.endpoint_of_string default_endpoint))
+      & info [ "l"; "listen" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Endpoint to listen on: $(b,unix:<path>), $(b,tcp:<port>) or \
+             $(b,tcp:<host>:<port>).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Connection-handler domains (default: the machine's recommended \
+             domain count).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int Service.default_cache_capacity
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Advice-cache entries before LRU eviction.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Protocol.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Largest accepted frame.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the final stats snapshot (the $(b,stats) payload) to FILE \
+             on exit — the CI smoke-test artifact.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress operational log lines (stderr).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:server_exits
+       ~doc:
+         "Run the election-as-a-service daemon: advise / elect / verify / \
+          verify-trace / stats over a framed JSONL protocol, with a \
+          content-addressed advice cache shared across connections.  Blocks \
+          until a client sends $(b,shutdown).")
+    Term.(
+      const run $ listen_arg $ domains_arg $ capacity_arg $ max_frame_arg
+      $ metrics_out_arg $ quiet_arg)
+
+let client_cmd =
+  let open Shades_server in
+  let usage_failure msg =
+    Printf.eprintf "shades-client: %s\n" msg;
+    exit 124
+  in
+  let run connect op spec task engine seed outputs trace_file =
+    let graph_members () =
+      match spec with
+      | Some s -> [ ("graph", Json.String s); ("task", Json.String task) ]
+      | None -> usage_failure ("op " ^ op ^ " needs --graph")
+    in
+    let req =
+      match op with
+      | "stats" | "shutdown" -> Json.Obj [ ("op", Json.String op) ]
+      | "advise" -> Json.Obj (("op", Json.String op) :: graph_members ())
+      | "elect" ->
+          Json.Obj
+            ((("op", Json.String op) :: graph_members ())
+            @ [ ("engine", Json.String engine) ]
+            @ if engine = "async" then [ ("seed", Json.Int seed) ] else [])
+      | "verify" ->
+          let text =
+            match outputs with
+            | Some s when String.length s > 0 && s.[0] = '@' ->
+                In_channel.with_open_bin
+                  (String.sub s 1 (String.length s - 1))
+                  In_channel.input_all
+            | Some s -> s
+            | None ->
+                usage_failure
+                  "op verify needs --outputs (a JSON list, or @FILE)"
+          in
+          let outputs_json =
+            match Json.of_string text with
+            | Ok j -> j
+            | Error e -> usage_failure ("--outputs is not JSON: " ^ e)
+          in
+          Json.Obj
+            ((("op", Json.String op) :: graph_members ())
+            @ [ ("outputs", outputs_json) ])
+      | "verify-trace" ->
+          let path =
+            match trace_file with
+            | Some p -> p
+            | None -> usage_failure "op verify-trace needs --trace FILE"
+          in
+          let blob =
+            match In_channel.with_open_bin path In_channel.input_all with
+            | blob -> blob
+            | exception Sys_error e -> usage_failure e
+          in
+          Json.Obj
+            [
+              ("op", Json.String op);
+              ("trace", Json.String (Protocol.hex_encode blob));
+            ]
+      | other ->
+          usage_failure
+            ("unknown op: " ^ other
+           ^ " (expected advise, elect, verify, verify-trace, stats, shutdown)")
+    in
+    match Client.with_connection connect (fun c -> Client.request c req) with
+    | Error e | Ok (Error e) ->
+        Printf.eprintf "shades-client: %s\n" e;
+        exit 2
+    | Ok (Ok reply) ->
+        print_endline (Json.to_string reply);
+        let ok =
+          match Json.member "ok" reply with
+          | Some (Json.Bool b) -> b
+          | _ -> false
+        in
+        (* a well-formed reply to verify / verify-trace carries a
+           verdict; an invalid one exits 1 like a server error, so
+           scripts need no JSON parsing to gate on it *)
+        let valid =
+          match Json.member "result" reply with
+          | Some r -> (
+              match Json.member "valid" r with
+              | Some (Json.Bool false) -> false
+              | _ -> true)
+          | None -> true
+        in
+        if not (ok && valid) then exit 1
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt endpoint_conv
+          (Result.get_ok (Protocol.endpoint_of_string default_endpoint))
+      & info [ "c"; "connect" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Endpoint to connect to: $(b,unix:<path>), $(b,tcp:<port>) or \
+             $(b,tcp:<host>:<port>).")
+  in
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of $(b,advise), $(b,elect), $(b,verify), $(b,verify-trace), \
+             $(b,stats), $(b,shutdown).")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "g"; "graph" ] ~docv:"SPEC"
+          ~doc:"Graph spec (same grammar as every other subcommand).")
+  in
+  let task_arg =
+    Arg.(
+      value & opt string "s"
+      & info [ "t"; "task" ] ~docv:"TASK" ~doc:"Task: s, pe, ppe or cppe.")
+  in
+  let engine_arg =
+    Arg.(
+      value & opt string "sync"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Election engine for $(b,elect): sync or async.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Adversary schedule seed for $(b,--engine async).")
+  in
+  let outputs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "outputs" ] ~docv:"JSON"
+          ~doc:
+            "Claimed per-node outputs for $(b,verify): a JSON list (the \
+             $(b,elect) reply's \"outputs\" field), or $(b,@FILE) to read \
+             it from FILE.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"SHTR trace file to upload for $(b,verify-trace).")
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits:server_exits
+       ~doc:
+         "Send one request to a running $(b,serve) daemon and print the \
+          JSON reply.  Exits 0 on an ok reply, 1 on a server error or \
+          invalid verdict, 2 when the endpoint is unreachable.")
+    Term.(
+      const run $ connect_arg $ op_arg $ spec_arg $ task_arg $ engine_arg
+      $ seed_arg $ outputs_arg $ trace_arg)
+
 let () =
   let doc =
     "Four shades of deterministic leader election in anonymous networks"
@@ -1080,5 +1325,6 @@ let () =
           [
             index_cmd; views_cmd; elect_cmd; dot_cmd; quotient_cmd;
             tradeoff_cmd; labelings_cmd; family_g_cmd; family_u_cmd;
-            family_j_cmd; sweep_cmd; trace_cmd; lint_cmd;
+            family_j_cmd; sweep_cmd; trace_cmd; lint_cmd; serve_cmd;
+            client_cmd;
           ]))

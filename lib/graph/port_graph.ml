@@ -279,6 +279,18 @@ let canonical g =
   let perm, _ = Option.get !best in
   (renumber g perm, perm)
 
+let digest g =
+  let canon, _ = canonical g in
+  let bits = encode canon in
+  let packed = Shades_bits.Bitstring.to_packed bits in
+  (* the bit length disambiguates encodings whose padding coincides *)
+  let payload =
+    string_of_int (Shades_bits.Bitstring.length bits)
+    ^ ":"
+    ^ Bytes.unsafe_to_string packed
+  in
+  Digest.to_hex (Digest.string payload)
+
 let to_dot ?(highlight = []) ?(name = "G") g =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);

@@ -108,6 +108,16 @@ val encode : t -> Shades_bits.Bitstring.t
     malformed input. *)
 val decode : Shades_bits.Bitstring.t -> t
 
+(** [digest g] is a hex digest (MD5) of the {e canonical} map encoding
+    — {!encode} of {!canonical}'s result, tagged with its bit length.
+    Two connected graphs have equal digests iff they are
+    port-preserving isomorphic, so the digest is a content address for
+    the anonymous network itself, independent of the vertex numbering
+    a caller happened to submit (the advice-cache key of
+    [Shades_server]).  Costs one {!canonical} computation.
+    @raise Invalid_argument if [g] is disconnected. *)
+val digest : t -> string
+
 val pp : Format.formatter -> t -> unit
 
 (** Graphviz rendering: one undirected edge per link, with both port

@@ -59,3 +59,77 @@ let map ?domains f inputs =
 
 let map_list ?domains f inputs =
   Array.to_list (map ?domains f (Array.of_list inputs))
+
+(* A persistent work crew: the same queue discipline as [map_parallel],
+   but the queue stays open until [shutdown] — the shape a long-lived
+   daemon needs, where work arrives from outside (accepted connections)
+   rather than as one batch. *)
+module Crew = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable closed : bool;
+    mutable team : unit Domain.t array;
+    on_error : exn -> unit;
+  }
+
+  let worker t =
+    let rec next_task () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.closed then None
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        next_task ()
+      end
+    in
+    let rec loop () =
+      Mutex.lock t.mutex;
+      let task = next_task () in
+      Mutex.unlock t.mutex;
+      match task with
+      | None -> ()
+      | Some task ->
+          (try task () with e -> t.on_error e);
+          loop ()
+    in
+    loop ()
+
+  let create ?domains ?(on_error = fun _ -> ()) () =
+    let domains =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        closed = false;
+        team = [||];
+        on_error;
+      }
+    in
+    (* at most ~128 live domains, as in [map] *)
+    t.team <- Array.init (min domains 120) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let size t = Array.length t.team
+
+  let submit t task =
+    Mutex.lock t.mutex;
+    let accepted = not t.closed in
+    if accepted then begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mutex;
+    if not accepted then invalid_arg "Pool.Crew.submit: crew is shut down"
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let already = t.closed in
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if not already then Array.iter Domain.join t.team
+end

@@ -28,3 +28,31 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists. *)
+
+(** A persistent work crew: the queue discipline of {!map}, but the
+    queue stays open until {!Crew.shutdown}, so work can arrive from
+    outside (a daemon's accepted connections) rather than as one batch.
+    Results, if any, are the tasks' own business — a task is just a
+    thunk run once on some crew domain. *)
+module Crew : sig
+  type t
+
+  val create : ?domains:int -> ?on_error:(exn -> unit) -> unit -> t
+  (** Spawn a team of [domains] (default {!default_domains}, values
+      [< 1] clamped to 1) worker domains parked on an empty queue.  A
+      task that raises does not kill its worker: the exception is
+      passed to [on_error] (default: ignored) and the worker returns to
+      the queue. *)
+
+  val size : t -> int
+  (** Number of worker domains. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue one task; some idle worker picks it up.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Close the queue, let the workers drain it, and join them.
+      Blocks until every already-submitted task has finished;
+      idempotent. *)
+end

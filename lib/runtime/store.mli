@@ -37,6 +37,11 @@ val make : ?label:string -> record list -> t
 
 val metric : record -> string -> Metrics.value option
 
+val json_of_metric : Metrics.value -> Json.t
+(** One instrument as a tagged JSON object ([{"kind": "counter", ...}]
+    etc.) — the encoding records use, shared with the daemon's [stats]
+    endpoint so metric snapshots render identically everywhere. *)
+
 val encode : t -> string
 (** Render to JSON text (one record per line, stable layout). *)
 

@@ -259,7 +259,17 @@ let tiny_async_points =
       axis "seed" [ 0 ];
     ]
 
-let tiny_jobs () = gclass_jobs tiny_points @ gclass_async_jobs tiny_async_points
+(* One J-class point rides along so the tiny gates also pin the CPPE
+   task (Section 4).  mu = 3, k = 4 is the smallest legal corner; at
+   z_eff = 1 the scaled template has 402 nodes — well inside the
+   default order budget and fast enough for `make check`. *)
+let tiny_jclass_points =
+  cross [ axis "mu" [ 3 ]; axis "k" [ 4 ]; axis "z_eff" [ 1 ] ]
+
+let tiny_jobs () =
+  gclass_jobs tiny_points
+  @ gclass_async_jobs tiny_async_points
+  @ jclass_jobs ~metrics:(Metrics.create ()) tiny_jclass_points
 
 let record_of_job ?tracer job =
   let metrics = Metrics.create () in

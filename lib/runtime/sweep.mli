@@ -111,8 +111,15 @@ val tiny_async_points : point list
     run as a ["g-async"] job so both gates also pin the seeded
     α-synchronizer schedule. *)
 
+val tiny_jclass_points : point list
+(** The CPPE rider on the tiny grid: the smallest legal J-class corner
+    (μ = 3, k = 4) at [z_eff = 1] (402 nodes), so the gates pin all
+    four shades rather than Selection alone. *)
+
 val tiny_jobs : unit -> job list
-(** [gclass_jobs tiny_points @ gclass_async_jobs tiny_async_points]. *)
+(** The G-class grid, the async rider, and the J-class rider, in that
+    order — exactly what [sweep --tiny], [make check] and the committed
+    [BENCH_tiny/] baseline run. *)
 
 val run : ?domains:int -> job list -> Store.record list
 (** Execute the jobs on a {!Pool} ([domains] as in {!Pool.map}) and

@@ -1,0 +1,113 @@
+module Metrics = Shades_runtime.Metrics
+
+(* Classic LRU: a hash table from key to node, nodes chained in a
+   doubly-linked recency list ([first] most-recent, [last]
+   least-recent).  No [Hashtbl.iter]/[fold] anywhere, so no unspecified
+   iteration order can escape (shadescheck's hashtbl-order rule stays
+   clean by construction). *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option;  (** towards [first] *)
+  mutable next : 'a node option;  (** towards [last] *)
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a node) Hashtbl.t;
+  mutable first : 'a node option;
+  mutable last : 'a node option;
+  capacity : int;
+  metrics : Metrics.t;
+  name : string;
+  mutable entries : int;
+}
+
+let counter t what = t.name ^ "_" ^ what
+
+let create ?(name = "cache") ~capacity ~metrics () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    first = None;
+    last = None;
+    capacity;
+    metrics;
+    name;
+    entries = 0;
+  }
+
+let capacity t = t.capacity
+
+(* list surgery; all callers hold [t.mutex] *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.first <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
+  t.first <- Some node
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+          unlink t node;
+          push_front t node;
+          Metrics.incr t.metrics (counter t "hits");
+          Some node.value
+      | None ->
+          Metrics.incr t.metrics (counter t "misses");
+          None)
+
+let put t key value =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some old ->
+          unlink t old;
+          Hashtbl.remove t.table key;
+          t.entries <- t.entries - 1
+      | None -> ());
+      (if t.entries >= t.capacity then
+         (* evict the least-recently-used entry *)
+         match t.last with
+         | Some lru ->
+             unlink t lru;
+             Hashtbl.remove t.table lru.key;
+             t.entries <- t.entries - 1;
+             Metrics.incr t.metrics (counter t "evictions")
+         | None -> assert false (* entries >= capacity >= 1 *));
+      let node = { key; value; prev = None; next = None } in
+      push_front t node;
+      Hashtbl.replace t.table key node;
+      t.entries <- t.entries + 1;
+      Metrics.set_gauge t.metrics (counter t "entries") (float_of_int t.entries))
+
+let find_or_compute t key ~compute =
+  match find t key with
+  | Some v -> (v, true)
+  | None ->
+      (* computed outside the lock: a slow compute must not serialize
+         every other key's lookups.  Two racing misses on one key both
+         compute; last [put] wins — harmless because computes are
+         deterministic functions of the key. *)
+      let v = compute () in
+      put t key v;
+      (v, false)
+
+let entries t = locked t (fun () -> t.entries)

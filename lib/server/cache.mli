@@ -1,0 +1,45 @@
+(** Bounded LRU cache with telemetry — the daemon's content-addressed
+    advice store.
+
+    Keys are strings (content digests); values are whatever the caller
+    computes for a key.  The cache is mutex-guarded and safe to share
+    across {!Shades_runtime.Pool} domains.  Every lookup outcome is
+    counted in the {!Shades_runtime.Metrics} registry given at creation
+    under names derived from the cache's [name]: [<name>_hits],
+    [<name>_misses], [<name>_evictions] (counters) and [<name>_entries]
+    (a gauge) — the numbers the [stats] endpoint and the serve bench
+    report. *)
+
+type 'a t
+
+val create :
+  ?name:string ->
+  capacity:int ->
+  metrics:Shades_runtime.Metrics.t ->
+  unit ->
+  'a t
+(** An empty cache holding at most [capacity] entries (≥ 1; raises
+    [Invalid_argument] otherwise); beyond that, each insertion evicts
+    the least-recently-used entry.  [name] (default ["cache"])
+    prefixes the metric names. *)
+
+val capacity : 'a t -> int
+
+val entries : 'a t -> int
+(** Current number of entries (≤ {!capacity}). *)
+
+val find : 'a t -> string -> 'a option
+(** Look up a key; a hit refreshes its recency and bumps
+    [<name>_hits], a miss bumps [<name>_misses]. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert (or overwrite) a key at most-recent position, evicting the
+    LRU entry when full ([<name>_evictions]). *)
+
+val find_or_compute : 'a t -> string -> compute:(unit -> 'a) -> 'a * bool
+(** [find_or_compute t key ~compute] is [(value, was_hit)].  On a miss,
+    [compute] runs {e outside} the cache lock (a slow compute never
+    serializes other keys' lookups), so two racing misses on the same
+    key may both compute; the computes must be deterministic functions
+    of the key, making the race harmless.  Exceptions from [compute]
+    propagate and cache nothing. *)

@@ -1,0 +1,53 @@
+module Json = Shades_json.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect endpoint =
+  let addr, domain =
+    match endpoint with
+    | Protocol.Unix_path path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Protocol.Tcp { host; port } ->
+        let a =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+            | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+            | _ -> failwith ("cannot resolve host " ^ host))
+        in
+        (Unix.ADDR_INET (a, port), Unix.PF_INET)
+  in
+  match
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  with
+  | fd ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Protocol.endpoint_to_string endpoint)
+           (Unix.error_message e))
+  | exception Failure msg -> Error msg
+
+let request ?max_frame t payload =
+  match
+    Protocol.write_frame t.oc payload;
+    Protocol.read_frame ?max_frame t.ic
+  with
+  | Protocol.Payload (Ok reply) -> Ok reply
+  | Protocol.Payload (Error e) -> Error ("unparsable response: " ^ e)
+  | Protocol.Eof -> Error "connection closed before a response arrived"
+  | Protocol.Malformed e -> Error ("malformed response frame: " ^ e)
+  | exception Sys_error e -> Error e
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection endpoint f =
+  match connect endpoint with
+  | Error _ as e -> e
+  | Ok t -> Ok (Fun.protect ~finally:(fun () -> close t) (fun () -> f t))

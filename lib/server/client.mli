@@ -1,0 +1,30 @@
+(** Blocking client for the daemon's frame protocol.
+
+    A {!t} is one open connection; requests and replies are matched by
+    strict alternation (send one frame, read one frame), which is all
+    the protocol offers — the daemon never pushes unsolicited frames.
+
+    Everything surfaces as [result]: connection refusal, resolution
+    failure, mid-request disconnects and malformed response frames all
+    come back as [Error message], never as exceptions, so the CLI can
+    map them straight onto its exit-code contract. *)
+
+type t
+(** One open connection. *)
+
+val connect : Protocol.endpoint -> (t, string) result
+
+val request :
+  ?max_frame:int -> t -> Shades_json.Json.t -> (Shades_json.Json.t, string) result
+(** Send one request payload, block for the one response frame.
+    [max_frame] bounds the {e response} size (default
+    {!Protocol.default_max_frame}).  After an [Error] the stream
+    position is unknown — close the connection. *)
+
+val close : t -> unit
+(** Idempotent; safe after a transport error. *)
+
+val with_connection :
+  Protocol.endpoint -> (t -> 'a) -> ('a, string) result
+(** Connect, run, always close.  [Error] only for connection failure;
+    exceptions from the callback propagate (after closing). *)

@@ -1,0 +1,99 @@
+
+module Pool = Shades_runtime.Pool
+module Metrics = Shades_runtime.Metrics
+
+let socket_of_endpoint = function
+  | Protocol.Unix_path path ->
+      if Sys.file_exists path then Sys.remove path;
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      sock
+  | Protocol.Tcp { host; port } ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> failwith ("cannot resolve host " ^ host))
+      in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (addr, port));
+      sock
+
+(* One connection: frames in, frames out, until EOF, a framing error,
+   or a shutdown request.  Runs on a crew domain; [service] is shared
+   and mutex-guarded throughout. *)
+let serve_connection ~max_frame ~log ~stop service fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Protocol.read_frame ~max_frame ic with
+    | Protocol.Eof -> ()
+    | Protocol.Malformed reason ->
+        (* the byte stream cannot be resynchronized: answer and close *)
+        log ("closing connection: " ^ reason);
+        Protocol.write_frame oc (Protocol.error_response ~code:"bad-frame" reason)
+    | Protocol.Payload (Error reason) ->
+        Protocol.write_frame oc (Protocol.error_response ~code:"bad-json" reason);
+        loop ()
+    | Protocol.Payload (Ok request) -> (
+        match Service.handle service request with
+        | Service.Reply reply ->
+            Protocol.write_frame oc reply;
+            loop ()
+        | Service.Reply_and_stop reply ->
+            Protocol.write_frame oc reply;
+            Atomic.set stop true)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop () with
+      | Unix.Unix_error (e, _, _) ->
+          log ("connection error: " ^ Unix.error_message e)
+      | Sys_error e -> log ("connection error: " ^ e))
+
+let run ?domains ?(max_frame = Protocol.default_max_frame) ?(log = fun _ -> ())
+    endpoint service =
+  let sock = socket_of_endpoint endpoint in
+  Unix.listen sock 64;
+  let stop = Atomic.make false in
+  let crew =
+    Pool.Crew.create ?domains
+      ~on_error:(fun e -> log ("handler error: " ^ Printexc.to_string e))
+      ()
+  in
+  log
+    (Printf.sprintf "listening on %s (%d worker domain%s)"
+       (Protocol.endpoint_to_string endpoint)
+       (Pool.Crew.size crew)
+       (if Pool.Crew.size crew = 1 then "" else "s"));
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (* poll so a shutdown request (flagged by a crew domain) is
+         noticed without tricks like self-connection *)
+      match Unix.select [ sock ] [] [] 0.1 with
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ ->
+          (match Unix.accept sock with
+          | fd, _ ->
+              Metrics.incr (Service.metrics service) "connections";
+              Pool.Crew.submit crew (fun () ->
+                  serve_connection ~max_frame ~log ~stop service fd)
+          | exception Unix.Unix_error (e, _, _) ->
+              log ("accept error: " ^ Unix.error_message e));
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (match endpoint with
+      | Protocol.Unix_path path ->
+          if Sys.file_exists path then Sys.remove path
+      | Protocol.Tcp _ -> ());
+      Pool.Crew.shutdown crew;
+      log "stopped")
+    accept_loop

@@ -1,0 +1,427 @@
+module Json = Shades_json.Json
+module Port_graph = Shades_graph.Port_graph
+module Bitstring = Shades_bits.Bitstring
+module Task = Shades_election.Task
+module Scheme = Shades_election.Scheme
+module Verify = Shades_election.Verify
+module Select_by_view = Shades_election.Select_by_view
+module Map_advice = Shades_election.Map_advice
+module Metrics = Shades_runtime.Metrics
+module Store = Shades_runtime.Store
+module Trace = Shades_trace.Trace
+module Codec = Shades_trace.Codec
+module Replay = Shades_trace.Replay
+
+(* Versions folded into the cache key: bump [advice_version] whenever
+   any scheme's oracle output changes for a fixed graph, so stale
+   cached advice can never be served across a behavioural change. *)
+let advice_version = 1
+
+let default_cache_capacity = 256
+
+let cache_key ~digest ~task =
+  Printf.sprintf "%s/%s/v%d" digest (Task.kind_to_string task) advice_version
+
+type advice_entry = { advice : Bitstring.t; rounds : int }
+
+type t = {
+  metrics : Metrics.t;
+  advice : advice_entry Cache.t;
+  memo : string Cache.t;
+}
+
+let create ?(cache_capacity = default_cache_capacity) () =
+  let metrics = Metrics.create () in
+  {
+    metrics;
+    advice = Cache.create ~name:"advice_cache" ~capacity:cache_capacity ~metrics ();
+    memo = Cache.create ~name:"memo" ~capacity:(max cache_capacity 1024) ~metrics ();
+  }
+
+let metrics t = t.metrics
+
+(* --- per-task dispatch ---
+
+   One existential record per task bundles the minimum-time scheme with
+   its referee and the JSON codec of its payload, so every endpoint
+   dispatches through the same four-way table. *)
+
+type impl =
+  | Impl : {
+      scheme : 'p Task.answer Scheme.t;
+      verify :
+        Port_graph.t -> 'p Task.answer array -> (Port_graph.vertex, string) result;
+      payload_to_json : 'p -> Json.t;
+      payload_of_json : Json.t -> ('p, string) result;
+    }
+      -> impl
+
+let impl_of_task = function
+  | Task.S ->
+      Impl
+        {
+          scheme = Select_by_view.scheme;
+          verify = Verify.selection;
+          payload_to_json = (fun () -> Json.String "follower");
+          payload_of_json =
+            (function
+            | Json.String "follower" -> Ok ()
+            | _ -> Error "S output must be \"leader\" or \"follower\"");
+        }
+  | Task.PE ->
+      Impl
+        {
+          scheme = Map_advice.port_election;
+          verify = Verify.port_election;
+          payload_to_json = (fun p -> Json.Int p);
+          payload_of_json =
+            (function
+            | Json.Int p -> Ok p
+            | _ -> Error "PE output must be \"leader\" or a port number");
+        }
+  | Task.PPE ->
+      Impl
+        {
+          scheme = Map_advice.port_path_election;
+          verify = Verify.port_path_election;
+          payload_to_json = (fun ps -> Json.List (List.map (fun p -> Json.Int p) ps));
+          payload_of_json =
+            (let rec ports acc = function
+               | [] -> Ok (List.rev acc)
+               | Json.Int p :: rest -> ports (p :: acc) rest
+               | _ -> Error "PPE output must be \"leader\" or a port list"
+             in
+             function
+             | Json.List l -> ports [] l
+             | _ -> Error "PPE output must be \"leader\" or a port list");
+        }
+  | Task.CPPE ->
+      Impl
+        {
+          scheme = Map_advice.complete_port_path_election;
+          verify = Verify.complete_port_path_election;
+          payload_to_json =
+            (fun pairs ->
+              Json.List
+                (List.map
+                   (fun (p, q) -> Json.List [ Json.Int p; Json.Int q ])
+                   pairs));
+          payload_of_json =
+            (let rec pairs acc = function
+               | [] -> Ok (List.rev acc)
+               | Json.List [ Json.Int p; Json.Int q ] :: rest ->
+                   pairs ((p, q) :: acc) rest
+               | _ -> Error "CPPE output must be \"leader\" or a [p, q] pair list"
+             in
+             function
+             | Json.List l -> pairs [] l
+             | _ -> Error "CPPE output must be \"leader\" or a [p, q] pair list");
+        }
+
+let answer_to_json payload_to_json = function
+  | Task.Leader -> Json.String "leader"
+  | Task.Follower p -> payload_to_json p
+
+let answer_of_json payload_of_json = function
+  | Json.String "leader" -> Ok Task.Leader
+  | j -> Result.map (fun p -> Task.Follower p) (payload_of_json j)
+
+(* --- the advice cache --- *)
+
+(* A cheap digest of the submitted (non-canonical) encoding, used only
+   as a memo index in front of the canonical content address: repeated
+   queries on byte-identical topologies skip even the canonicalization.
+   The cache key itself is always [Port_graph.digest]. *)
+let encoding_digest g =
+  let bits = Port_graph.encode g in
+  let payload =
+    string_of_int (Bitstring.length bits)
+    ^ ":"
+    ^ Bytes.unsafe_to_string (Bitstring.to_packed bits)
+  in
+  Digest.to_hex (Digest.string payload)
+
+let canonical_digest t g =
+  match Cache.find t.memo (encoding_digest g) with
+  | Some digest -> digest
+  | None ->
+      let digest =
+        Metrics.time t.metrics "canonicalize" (fun () -> Port_graph.digest g)
+      in
+      Cache.put t.memo (encoding_digest g) digest;
+      digest
+
+(* [advise_entry] is the one path to cached advice: every endpoint that
+   needs advice funnels through it, so hit/miss/compute counters tell
+   one coherent story. *)
+let advise_entry t g task =
+  let digest = canonical_digest t g in
+  let key = cache_key ~digest ~task in
+  let (Impl { scheme; _ }) = impl_of_task task in
+  let entry, hit =
+    Cache.find_or_compute t.advice key ~compute:(fun () ->
+        Metrics.incr t.metrics "advise_computes";
+        let canon, _ =
+          Metrics.time t.metrics "canonicalize" (fun () -> Port_graph.canonical g)
+        in
+        let advice =
+          Metrics.time t.metrics "oracle" (fun () -> scheme.Scheme.oracle canon)
+        in
+        let rounds =
+          scheme.Scheme.rounds_of ~advice ~degree:(Port_graph.max_degree canon)
+        in
+        { advice; rounds })
+  in
+  (digest, entry, hit)
+
+(* --- request plumbing --- *)
+
+let error = Protocol.error_response
+
+let member_exn what req =
+  match Json.member what req with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "request needs a %S member" what)
+
+let graph_exn req =
+  match Protocol.graph_of_json (member_exn "graph" req) with
+  | Ok g -> g
+  | Error e -> failwith ("bad graph: " ^ e)
+
+let task_exn req =
+  match member_exn "task" req with
+  | Json.String s -> (
+      match Protocol.task_of_string s with
+      | Ok k -> k
+      | Error e -> failwith e)
+  | _ -> failwith "\"task\" must be a string (s, pe, ppe, cppe)"
+
+let graph_info g =
+  Json.Obj
+    [
+      ("order", Json.Int (Port_graph.order g));
+      ("size", Json.Int (Port_graph.size g));
+      ("max_degree", Json.Int (Port_graph.max_degree g));
+    ]
+
+(* --- endpoints --- *)
+
+let advise t req =
+  let g = graph_exn req in
+  let task = task_exn req in
+  let digest, entry, cached = advise_entry t g task in
+  Protocol.ok_response ~op:"advise"
+    (Json.Obj
+       [
+         ("digest", Json.String digest);
+         ("task", Json.String (Task.kind_to_string task));
+         ("advice", Json.String (Bitstring.to_string entry.advice));
+         ("advice_bits", Json.Int (Bitstring.length entry.advice));
+         ("rounds", Json.Int entry.rounds);
+         ("cached", Json.Bool cached);
+         ("graph", graph_info g);
+       ])
+
+let elect t req =
+  let g = graph_exn req in
+  let task = task_exn req in
+  let engine =
+    match Json.member "engine" req with
+    | None | Some (Json.String "sync") -> Trace.Sync
+    | Some (Json.String "async") ->
+        let seed =
+          match Json.member "seed" req with
+          | Some (Json.Int s) -> s
+          | None -> 0
+          | Some _ -> failwith "\"seed\" must be an integer"
+        in
+        Trace.Async { seed }
+    | Some _ -> failwith "\"engine\" must be \"sync\" or \"async\""
+  in
+  let (Impl { scheme; verify; payload_to_json; _ }) = impl_of_task task in
+  let messages = ref 0 in
+  let on_round ~round:_ ~messages:m = messages := m in
+  let digest, run, cached =
+    match engine with
+    | Trace.Sync ->
+        (* the sync path reuses the cached advice end-to-end: a warm
+           election never recomputes the oracle *)
+        let digest, entry, cached = advise_entry t g task in
+        let run =
+          Metrics.time t.metrics "elect" (fun () ->
+              Scheme.run_with_advice ~on_round scheme g ~advice:entry.advice)
+        in
+        (digest, run, cached)
+    | Trace.Async { seed } ->
+        (* the α-synchronizer path exercises the full scheme (oracle
+           included) — it pins schedules, not advice reuse *)
+        let digest = canonical_digest t g in
+        let run =
+          Metrics.time t.metrics "elect" (fun () ->
+              Scheme.run_async ~seed ~on_round scheme g)
+        in
+        (digest, run, false)
+  in
+  let verdict = verify g run.Scheme.outputs in
+  Protocol.ok_response ~op:"elect"
+    (Json.Obj
+       [
+         ("digest", Json.String digest);
+         ("task", Json.String (Task.kind_to_string task));
+         ("engine", Json.String (Trace.engine_to_string engine));
+         ("rounds", Json.Int run.Scheme.rounds);
+         ("messages", Json.Int !messages);
+         ("advice_bits", Json.Int run.Scheme.advice_bits);
+         ("cached", Json.Bool cached);
+         ("verified", Json.Bool (Result.is_ok verdict));
+         ("leader",
+          match verdict with Ok l -> Json.Int l | Error _ -> Json.Null);
+         ("outputs",
+          Json.List
+            (Array.to_list
+               (Array.map (answer_to_json payload_to_json) run.Scheme.outputs)));
+         ("graph", graph_info g);
+       ])
+
+let verify_outputs t req =
+  let g = graph_exn req in
+  let task = task_exn req in
+  let (Impl { verify; payload_of_json; _ }) = impl_of_task task in
+  let outputs =
+    match member_exn "outputs" req with
+    | Json.List l ->
+        List.map
+          (fun j ->
+            match answer_of_json payload_of_json j with
+            | Ok a -> a
+            | Error e -> failwith ("bad output: " ^ e))
+          l
+    | _ -> failwith "\"outputs\" must be a list (one answer per vertex)"
+  in
+  if List.length outputs <> Port_graph.order g then
+    failwith
+      (Printf.sprintf "expected %d outputs, got %d" (Port_graph.order g)
+         (List.length outputs));
+  let verdict =
+    Metrics.time t.metrics "verify" (fun () -> verify g (Array.of_list outputs))
+  in
+  let digest = canonical_digest t g in
+  Protocol.ok_response ~op:"verify"
+    (Json.Obj
+       ([
+          ("digest", Json.String digest);
+          ("task", Json.String (Task.kind_to_string task));
+          ("valid", Json.Bool (Result.is_ok verdict));
+        ]
+       @
+       match verdict with
+       | Ok leader -> [ ("leader", Json.Int leader) ]
+       | Error reason -> [ ("reason", Json.String reason) ]))
+
+(* The incremental path (cf. Belenios's verify-diff): the client
+   uploads a full SHTR recording and the server re-executes it through
+   the deterministic engines, failing on the first divergent event. *)
+let verify_trace t req =
+  let blob =
+    match member_exn "trace" req with
+    | Json.String hex -> (
+        match Protocol.hex_decode hex with
+        | Ok blob -> blob
+        | Error e -> failwith ("bad trace hex: " ^ e))
+    | _ -> failwith "\"trace\" must be a hex string of an SHTR file"
+  in
+  let trace =
+    match Codec.decode blob with
+    | Ok tr -> tr
+    | Error e -> failwith ("bad trace: " ^ e)
+  in
+  let label = trace.Trace.meta.Trace.label in
+  let task_str, spec =
+    match String.index_opt label ' ' with
+    | Some i ->
+        ( String.sub label 0 i,
+          String.sub label (i + 1) (String.length label - i - 1) )
+    | None ->
+        failwith
+          ("trace label is not \"task graph-spec\" (was it recorded by `trace \
+            record`?): " ^ label)
+  in
+  let task =
+    match Protocol.task_of_string task_str with
+    | Ok k -> k
+    | Error e -> failwith e
+  in
+  let g = Spec.parse_exn spec in
+  let (Impl { scheme; _ }) = impl_of_task task in
+  let exec emit =
+    match trace.Trace.meta.Trace.engine with
+    | Trace.Sync -> ignore (Scheme.run ~tracer:emit scheme g)
+    | Trace.Async { seed } -> ignore (Scheme.run_async ~seed ~tracer:emit scheme g)
+  in
+  let outcome = Metrics.time t.metrics "replay" (fun () -> Replay.run trace exec) in
+  Protocol.ok_response ~op:"verify-trace"
+    (Json.Obj
+       ([
+          ("label", Json.String label);
+          ("engine",
+           Json.String (Trace.engine_to_string trace.Trace.meta.Trace.engine));
+          ("events", Json.Int (Array.length trace.Trace.events));
+          ("valid", Json.Bool (Result.is_ok outcome));
+        ]
+       @
+       match outcome with
+       | Ok () -> []
+       | Error d -> [ ("divergence", Json.String (Replay.pp_divergence d)) ]))
+
+let stats_json t =
+  Json.Obj
+    [
+      ("protocol", Json.Int Protocol.version);
+      ("advice_version", Json.Int advice_version);
+      ("cache",
+       Json.Obj
+         [
+           ("capacity", Json.Int (Cache.capacity t.advice));
+           ("entries", Json.Int (Cache.entries t.advice));
+         ]);
+      ("counters",
+       Json.Obj
+         (List.map
+            (fun (name, v) -> (name, Store.json_of_metric v))
+            (Metrics.snapshot t.metrics)));
+    ]
+
+let stats t = Protocol.ok_response ~op:"stats" (stats_json t)
+
+(* --- dispatch --- *)
+
+type reaction = Reply of Json.t | Reply_and_stop of Json.t
+
+let handle t req =
+  Metrics.incr t.metrics "requests";
+  let op =
+    match Json.member "op" req with Some (Json.String op) -> Some op | _ -> None
+  in
+  match op with
+  | None ->
+      Reply (error ~code:"bad-request" "request needs a string \"op\" member")
+  | Some "shutdown" ->
+      Metrics.incr t.metrics "op_shutdown";
+      Reply_and_stop
+        (Protocol.ok_response ~op:"shutdown"
+           (Json.Obj [ ("stopping", Json.Bool true) ]))
+  | Some op ->
+      let guarded f =
+        match Metrics.time t.metrics ("op_" ^ op) f with
+        | reply -> reply
+        | exception Failure msg -> error ~code:"request-failed" msg
+        | exception Invalid_argument msg -> error ~code:"request-failed" msg
+      in
+      Reply
+        (match op with
+        | "advise" -> guarded (fun () -> advise t req)
+        | "elect" -> guarded (fun () -> elect t req)
+        | "verify" -> guarded (fun () -> verify_outputs t req)
+        | "verify-trace" -> guarded (fun () -> verify_trace t req)
+        | "stats" -> guarded (fun () -> stats t)
+        | op -> error ~code:"unknown-op" ("unknown op: " ^ op))

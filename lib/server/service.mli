@@ -1,0 +1,72 @@
+(** The election service: request handlers and the content-addressed
+    advice cache.
+
+    One {!t} lives for the daemon's whole life and is shared by every
+    connection handler (all state is mutex-guarded).  {!handle} maps
+    one request payload to one response payload — the daemon owns the
+    sockets, this module owns the semantics, so the full protocol is
+    testable without ever opening a socket.
+
+    {2 The advice cache}
+
+    The paper's model is an all-knowing oracle computing one advice
+    string per topology, which every node receives — so a deployment
+    serves few distinct topologies to many clients, and advice is
+    cached {e per topology}, not per request.  The cache key is
+    {!cache_key}: the canonical-form digest of the submitted graph
+    ([Shades_graph.Port_graph.digest] — equal for any two
+    port-preserving isomorphic submissions) crossed with the task and
+    {!advice_version}.  Advice is computed {e on the canonical form},
+    so a cached string is a pure function of the key, independent of
+    which representative was submitted first; it remains valid advice
+    for every isomorphic submission because the schemes locate nodes in
+    the advice map only up to view equivalence.  In front of the
+    canonical address sits a memo from the digest of the submitted
+    (non-canonical) encoding to the canonical digest, so byte-identical
+    repeat queries skip canonicalization too — that memo is what makes
+    the warm path O(encoding size).
+
+    Counters (in {!metrics}, reported by the [stats] endpoint):
+    [advice_cache_hits] / [_misses] / [_evictions] / [_entries],
+    [memo_hits] / [_misses], [advise_computes] (oracle runs — a
+    repeated identical [advise] bumps the hit counter and {e not} this
+    one), [requests], and per-op [op_<name>] timings. *)
+
+type t
+
+val default_cache_capacity : int
+(** 256 advice entries. *)
+
+val create : ?cache_capacity:int -> unit -> t
+(** A fresh service with an empty cache of [cache_capacity] (default
+    {!default_cache_capacity}) advice entries. *)
+
+val metrics : t -> Shades_runtime.Metrics.t
+(** The service's telemetry registry (live; snapshot at will). *)
+
+val advice_version : int
+(** Version stamp folded into every cache key — bump when any scheme's
+    oracle output changes for a fixed graph, so stale advice can never
+    survive a behavioural change. *)
+
+val cache_key : digest:string -> task:Shades_election.Task.kind -> string
+(** ["<digest>/<task>/v<advice_version>"] — the content address of one
+    topology × task's advice. *)
+
+(** {1 Handling} *)
+
+(** [Reply_and_stop] is the [shutdown] op: send the reply, then stop
+    the daemon. *)
+type reaction = Reply of Shades_json.Json.t | Reply_and_stop of Shades_json.Json.t
+
+val handle : t -> Shades_json.Json.t -> reaction
+(** Dispatch one request.  Total: every failure (missing member, bad
+    graph, infeasible topology, malformed trace, ...) becomes an
+    [{"ok": false, "error": ...}] reply with code [bad-request],
+    [request-failed] or [unknown-op]; exceptions never escape to the
+    connection loop. *)
+
+val stats_json : t -> Shades_json.Json.t
+(** The [stats] result payload (protocol/advice versions, cache
+    occupancy, full counter snapshot) — also what [shades serve
+    --metrics-out] writes at exit. *)

@@ -1,0 +1,55 @@
+module Port_graph = Shades_graph.Port_graph
+module Gen = Shades_graph.Gen
+module Gclass = Shades_families.Gclass
+module Uclass = Shades_families.Uclass
+module Jclass = Shades_families.Jclass
+
+let grammar =
+  "ring:<n> | path:<n> | star:<n> | clique:<n> | \
+   random:<seed>,<n>,<extra> | line-ports:<p1>,<q1>,... | \
+   gclass:<delta>,<k>,<i> | uclass:<delta>,<k>,<sigma> | \
+   jclass:<mu>,<k>,<zeff>"
+
+let parse spec =
+  let ints args = String.split_on_char ',' args |> List.map int_of_string in
+  try
+    match String.split_on_char ':' spec with
+    | [ "ring"; n ] -> Ok (Gen.oriented_ring (int_of_string n))
+    | [ "path"; n ] -> Ok (Gen.path (int_of_string n))
+    | [ "star"; n ] -> Ok (Gen.star (int_of_string n))
+    | [ "clique"; n ] -> Ok (Gen.clique (int_of_string n))
+    | [ "random"; args ] -> (
+        match ints args with
+        | [ seed; n; extra ] ->
+            Ok (Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra)
+        | _ -> Error "random:<seed>,<n>,<extra-edges>")
+    | [ "line-ports"; ports ] ->
+        let rec pair = function
+          | [] -> []
+          | p :: q :: rest -> (p, q) :: pair rest
+          | [ _ ] -> failwith "line-ports needs an even number of ports"
+        in
+        Ok (Gen.path_with_ports (pair (ints ports)))
+    | [ "gclass"; args ] -> (
+        match ints args with
+        | [ delta; k; i ] -> Ok (Gclass.build { Gclass.delta; k } ~i).Gclass.graph
+        | _ -> Error "gclass:<delta>,<k>,<i>")
+    | [ "uclass"; args ] -> (
+        match ints args with
+        | [ delta; k; sigma ] ->
+            let p = { Uclass.delta; k } in
+            Ok (Uclass.build p ~sigma:(Uclass.uniform_sigma p sigma)).Uclass.graph
+        | _ -> Error "uclass:<delta>,<k>,<sigma>")
+    | [ "jclass"; args ] -> (
+        match ints args with
+        | [ mu; k; z_eff ] ->
+            let p = { Jclass.mu; k; z_eff } in
+            Ok (Jclass.build p ~y:(Jclass.y_zero p)).Jclass.graph
+        | _ -> Error "jclass:<mu>,<k>,<zeff>")
+    | _ -> Error ("graph spec: " ^ grammar)
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse_exn spec =
+  match parse spec with Ok g -> g | Error e -> failwith e

@@ -1,0 +1,21 @@
+(** Textual graph specifications, shared by the CLI and the daemon.
+
+    One grammar for naming a port-labeled graph from the outside:
+    generator specs ([ring:6], [path:5], [star:7], [clique:4],
+    [random:<seed>,<n>,<extra>], [line-ports:<p1>,<q1>,...]) and the
+    paper's lower-bound families ([gclass:<delta>,<k>,<i>],
+    [uclass:<delta>,<k>,<sigma>], [jclass:<mu>,<k>,<zeff>]).  The
+    [random] spec is deterministic: the seed is part of the spec, so a
+    spec always denotes one graph. *)
+
+val grammar : string
+(** Human-readable summary of the accepted forms (for error messages
+    and [--help] text). *)
+
+val parse : string -> (Shades_graph.Port_graph.t, string) result
+(** Parse and build; [Error] carries the reason (unknown form, bad
+    arity, or a family/generator precondition violation). *)
+
+val parse_exn : string -> Shades_graph.Port_graph.t
+(** {!parse}, raising [Failure] — the CLI entry point, where cmdliner
+    turns the exception into a usage error. *)

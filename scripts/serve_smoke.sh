@@ -1,0 +1,76 @@
+#!/bin/sh
+# serve-smoke: boot the daemon, hit every endpoint once through the
+# client, and assert that a repeated advise is served from the advice
+# cache without recomputation.  The daemon's final metrics snapshot is
+# written to SERVE_METRICS so CI can upload it as an artifact when the
+# smoke test fails.
+#
+# Expects the tree to be built already (run `dune build @all` first, or
+# go through `make serve-smoke`); the binary is invoked directly so no
+# dune lock is held while the daemon runs.
+set -eu
+
+CLI=${CLI:-./_build/default/bin/shades_cli.exe}
+SERVE_SOCKET=${SERVE_SOCKET:-/tmp/shades_serve_smoke.sock}
+SERVE_METRICS=${SERVE_METRICS:-/tmp/shades_serve_metrics.json}
+TRACE_FILE=${TRACE_FILE:-/tmp/shades_serve_smoke.shtr}
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+[ -x "$CLI" ] || fail "$CLI not built (run: dune build @all)"
+
+rm -f "$SERVE_SOCKET"
+"$CLI" serve --listen "unix:$SERVE_SOCKET" --metrics-out "$SERVE_METRICS" -q &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null; rm -f "$SERVE_SOCKET"' EXIT
+
+i=0
+while [ ! -S "$SERVE_SOCKET" ]; do
+    i=$((i + 1))
+    [ $i -le 100 ] || fail "daemon never bound $SERVE_SOCKET"
+    kill -0 $SERVE_PID 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+
+client() {
+    "$CLI" client --connect "unix:$SERVE_SOCKET" "$@"
+}
+
+# advise, twice: the repeat must be answered from the cache
+client advise -g gclass:3,1,2 -t pe > /tmp/serve_smoke_cold.json \
+    || fail "cold advise"
+grep -q '"cached":false' /tmp/serve_smoke_cold.json \
+    || fail "first advise claims to be cached"
+client advise -g gclass:3,1,2 -t pe > /tmp/serve_smoke_warm.json \
+    || fail "warm advise"
+grep -q '"cached":true' /tmp/serve_smoke_warm.json \
+    || fail "repeated advise was not served from the cache"
+
+# elect, then feed the claimed outputs back through verify
+client elect -g path:6 -t pe > /tmp/serve_smoke_elect.json || fail "elect"
+grep -q '"verified":true' /tmp/serve_smoke_elect.json || fail "elect verdict"
+outputs=$(sed 's/.*"outputs"://; s/,"graph".*//' /tmp/serve_smoke_elect.json)
+client verify -g path:6 -t pe --outputs "$outputs" > /dev/null \
+    || fail "verify rejected the daemon's own outputs"
+
+# verify-trace: a freshly recorded SHTR trace must replay clean
+"$CLI" trace record -g path:6 -t pe -o "$TRACE_FILE" > /dev/null \
+    || fail "trace record"
+client verify-trace --trace "$TRACE_FILE" > /dev/null || fail "verify-trace"
+
+# stats: three advises above (2 + the one inside sync elect on a
+# different graph) must have run the oracle exactly twice
+client stats > /tmp/serve_smoke_stats.json || fail "stats"
+grep -q '"advise_computes":{"kind":"counter","value":2}' \
+    /tmp/serve_smoke_stats.json \
+    || fail "unexpected oracle-run count (see /tmp/serve_smoke_stats.json)"
+
+client shutdown > /dev/null || fail "shutdown"
+wait $SERVE_PID || fail "daemon exited nonzero"
+trap - EXIT
+[ -f "$SERVE_METRICS" ] || fail "daemon wrote no metrics snapshot"
+
+echo "serve-smoke: PASS (metrics: $SERVE_METRICS)"

@@ -277,6 +277,49 @@ let prop_shortest_path_length =
               List.length vs = dist.(u) + 1 && Paths.is_simple vs)
         (Port_graph.vertices g))
 
+(* --- digest --- *)
+
+let renumber g shift =
+  let n = Port_graph.order g in
+  let perm v = (v + shift) mod n in
+  Port_graph.of_edges n
+    (List.map
+       (fun ((v, p), (u, q)) -> ((perm v, p), (perm u, q)))
+       (Port_graph.edges g))
+
+let test_digest () =
+  let g = Gen.path 7 in
+  Alcotest.(check string)
+    "deterministic" (Port_graph.digest g) (Port_graph.digest g);
+  Alcotest.(check string)
+    "invariant under renumbering" (Port_graph.digest g)
+    (Port_graph.digest (renumber g 3));
+  Alcotest.(check bool)
+    "hex md5 shape" true
+    (String.length (Port_graph.digest g) = 32
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         (Port_graph.digest g));
+  (* distinct topologies and distinct port labelings separate *)
+  Alcotest.(check bool)
+    "path vs ring" true
+    (Port_graph.digest g <> Port_graph.digest (Gen.oriented_ring 7));
+  Alcotest.(check bool)
+    "path:7 vs path:8" true
+    (Port_graph.digest g <> Port_graph.digest (Gen.path 8));
+  let p4 = Gen.path 4 in
+  Alcotest.(check bool)
+    "port relabeling separates" true
+    (Port_graph.digest p4 <> Port_graph.digest (Port_graph.swap_ports p4 1 0 1))
+
+let prop_digest_iso_agreement =
+  (* digest equality must coincide with the isomorphism decision
+     procedure on renumbered copies *)
+  QCheck.Test.make ~name:"digest invariant under renumbering" ~count:100
+    QCheck.(pair rand_graph small_nat) (fun (params, shift) ->
+      let g = build params in
+      Port_graph.digest g = Port_graph.digest (renumber g (shift mod Port_graph.order g)))
+
 let prop_iso_reflexive =
   QCheck.Test.make ~name:"isomorphism is reflexive" ~count:50 rand_graph
     (fun params ->
@@ -316,6 +359,7 @@ let () =
           Alcotest.test_case "connected avoiding" `Quick test_connected_avoiding;
         ] );
       ("iso", [ Alcotest.test_case "isomorphism" `Quick test_iso ]);
+      ("digest", [ Alcotest.test_case "content address" `Quick test_digest ]);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -325,6 +369,7 @@ let () =
             prop_union_preserves;
             prop_swap_involution;
             prop_shortest_path_length;
+            prop_digest_iso_agreement;
             prop_iso_reflexive;
           ] );
     ]

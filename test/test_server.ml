@@ -1,0 +1,460 @@
+(* Tests for the election daemon: frame codec, LRU cache semantics
+   (including cross-domain hammering), the service's request handling,
+   and one real daemon + client conversation over a Unix socket. *)
+
+open Shades_server
+module Json = Shades_json.Json
+module Metrics = Shades_runtime.Metrics
+
+let counter m name =
+  match List.assoc_opt name (Metrics.snapshot m) with
+  | Some (Metrics.Counter n) -> n
+  | _ -> 0
+
+(* --- protocol framing --- *)
+
+let frame_of_string s =
+  let tmp = Filename.temp_file "shades-frame" ".bin" in
+  Out_channel.with_open_bin tmp (fun oc -> output_string oc s);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () -> In_channel.with_open_bin tmp Protocol.read_frame)
+
+let roundtrip json =
+  let tmp = Filename.temp_file "shades-frame" ".bin" in
+  Out_channel.with_open_bin tmp (fun oc -> Protocol.write_frame oc json);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () -> In_channel.with_open_bin tmp Protocol.read_frame)
+
+let test_frame_roundtrip () =
+  let payload =
+    Json.Obj
+      [
+        ("op", Json.String "advise");
+        ("graph", Json.String "ring:6");
+        ("n", Json.Int 42);
+        ("xs", Json.List [ Json.Bool true; Json.Null ]);
+      ]
+  in
+  match roundtrip payload with
+  | Protocol.Payload (Ok got) ->
+      Alcotest.(check string)
+        "payload survives framing" (Json.to_string payload) (Json.to_string got)
+  | _ -> Alcotest.fail "expected a parsed payload"
+
+let test_frame_errors () =
+  (match frame_of_string "" with
+  | Protocol.Eof -> ()
+  | _ -> Alcotest.fail "empty stream should be Eof");
+  (match frame_of_string "not-a-length\n{}\n" with
+  | Protocol.Malformed _ -> ()
+  | _ -> Alcotest.fail "garbage length line should be Malformed");
+  (match frame_of_string "100\n{\"op\"" with
+  | Protocol.Malformed _ -> ()
+  | _ -> Alcotest.fail "truncated payload should be Malformed");
+  (match frame_of_string "999999999\nx\n" with
+  | Protocol.Malformed _ -> ()
+  | _ -> Alcotest.fail "over-limit length should be Malformed");
+  (* framing fine, JSON broken: the recoverable case *)
+  match frame_of_string "6\n{\"op\":\n" with
+  | Protocol.Payload (Error _) -> ()
+  | _ -> Alcotest.fail "bad JSON in a good frame should be Payload Error"
+
+let test_hex () =
+  let blob = "\x00\x01SHTR\xff\xfe binary\n\x80" in
+  Alcotest.(check string)
+    "hex roundtrip" blob
+    (Result.get_ok (Protocol.hex_decode (Protocol.hex_encode blob)));
+  Alcotest.(check bool)
+    "odd length rejected" true
+    (Result.is_error (Protocol.hex_decode "abc"));
+  Alcotest.(check bool)
+    "non-hex rejected" true
+    (Result.is_error (Protocol.hex_decode "zz"))
+
+let test_endpoints () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        ("roundtrip " ^ s) s
+        (Protocol.endpoint_to_string
+           (Result.get_ok (Protocol.endpoint_of_string s))))
+    [ "unix:/tmp/x.sock"; "tcp:127.0.0.1:9901" ];
+  (match Protocol.endpoint_of_string "tcp:9901" with
+  | Ok (Protocol.Tcp { host = "127.0.0.1"; port = 9901 }) -> ()
+  | _ -> Alcotest.fail "tcp:<port> should default the host");
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Result.is_error (Protocol.endpoint_of_string "carrier-pigeon:42"))
+
+let test_graph_json () =
+  let g = Shades_graph.Gen.path 5 in
+  let got = Result.get_ok (Protocol.graph_of_json (Protocol.graph_to_json g)) in
+  Alcotest.(check string)
+    "explicit form roundtrips"
+    (Shades_graph.Port_graph.digest g)
+    (Shades_graph.Port_graph.digest got);
+  let from_spec =
+    Result.get_ok (Protocol.graph_of_json (Json.String "path:5"))
+  in
+  Alcotest.(check string)
+    "spec string accepted"
+    (Shades_graph.Port_graph.digest g)
+    (Shades_graph.Port_graph.digest from_spec);
+  Alcotest.(check bool)
+    "bad spec is Error, not exception" true
+    (Result.is_error (Protocol.graph_of_json (Json.String "ring:banana")));
+  Alcotest.(check bool)
+    "bad edges are Error, not exception" true
+    (Result.is_error
+       (Protocol.graph_of_json
+          (Json.Obj
+             [
+               ("n", Json.Int 2);
+               ("edges", Json.List [ Json.List [ Json.Int 0; Json.Int 0; Json.Int 5; Json.Int 0 ] ]);
+             ])))
+
+(* --- cache --- *)
+
+let test_cache_lru () =
+  let m = Metrics.create () in
+  let c = Cache.create ~name:"c" ~capacity:2 ~metrics:m () in
+  Cache.put c "a" 1;
+  Cache.put c "b" 2;
+  Alcotest.(check (option int)) "a present" (Some 1) (Cache.find c "a");
+  (* a is now most recent, so inserting c evicts b *)
+  Cache.put c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Cache.find c "c");
+  Alcotest.(check int) "entries at capacity" 2 (Cache.entries c);
+  Alcotest.(check int) "one eviction" 1 (counter m "c_evictions");
+  Alcotest.(check int) "hits counted" 3 (counter m "c_hits");
+  Alcotest.(check int) "misses counted" 1 (counter m "c_misses");
+  Cache.put c "a" 10;
+  Alcotest.(check (option int)) "overwrite in place" (Some 10) (Cache.find c "a");
+  Alcotest.(check int) "overwrite does not evict" 2 (Cache.entries c)
+
+let test_cache_find_or_compute () =
+  let m = Metrics.create () in
+  let c = Cache.create ~capacity:4 ~metrics:m () in
+  let runs = ref 0 in
+  let compute () = incr runs; 7 in
+  let v1, hit1 = Cache.find_or_compute c "k" ~compute in
+  let v2, hit2 = Cache.find_or_compute c "k" ~compute in
+  Alcotest.(check (list int)) "same value" [ 7; 7 ] [ v1; v2 ];
+  Alcotest.(check (list bool)) "miss then hit" [ false; true ] [ hit1; hit2 ];
+  Alcotest.(check int) "computed once" 1 !runs;
+  Alcotest.check_raises "compute exception caches nothing" (Failure "boom")
+    (fun () -> ignore (Cache.find_or_compute c "bad" ~compute:(fun () -> failwith "boom")));
+  Alcotest.(check (option int)) "nothing cached for bad" None (Cache.find c "bad")
+
+let test_cache_concurrent () =
+  let m = Metrics.create () in
+  let c = Cache.create ~capacity:16 ~metrics:m () in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 499 do
+              let key = "k" ^ string_of_int (i mod 24) in
+              let v, _ =
+                Cache.find_or_compute c key ~compute:(fun () -> (d * 1000) + i)
+              in
+              ignore v;
+              if i mod 7 = 0 then ignore (Cache.find c key)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check bool)
+    "bounded after hammering" true
+    (Cache.entries c <= 16);
+  (* every lookup was counted exactly once *)
+  let total =
+    counter m "cache_hits" + counter m "cache_misses"
+  in
+  Alcotest.(check bool) "all lookups counted" true (total >= 4 * 500)
+
+(* --- service (no sockets) --- *)
+
+let handle_ok service req =
+  match Service.handle service req with
+  | Service.Reply r -> r
+  | Service.Reply_and_stop r -> r
+
+let result_of reply =
+  match Json.member "result" reply with
+  | Some r -> r
+  | None -> Alcotest.fail ("no result in " ^ Json.to_string reply)
+
+let is_error ?code reply =
+  match (Json.member "ok" reply, Json.member "error" reply) with
+  | Some (Json.Bool false), Some e -> (
+      match code with
+      | None -> true
+      | Some c -> Json.member "code" e = Some (Json.String c))
+  | _ -> false
+
+let advise_req spec =
+  Json.Obj
+    [
+      ("op", Json.String "advise");
+      ("graph", Json.String spec);
+      ("task", Json.String "pe");
+    ]
+
+let test_service_errors () =
+  let s = Service.create () in
+  Alcotest.(check bool)
+    "missing op" true
+    (is_error ~code:"bad-request" (handle_ok s (Json.Obj [])));
+  Alcotest.(check bool)
+    "unknown op" true
+    (is_error ~code:"unknown-op"
+       (handle_ok s (Json.Obj [ ("op", Json.String "fly") ])));
+  Alcotest.(check bool)
+    "bad graph spec" true
+    (is_error ~code:"request-failed" (handle_ok s (advise_req "ring:banana")));
+  (* infeasible topology: the oracle itself refuses; still a reply *)
+  Alcotest.(check bool)
+    "infeasible graph is a structured error" true
+    (is_error ~code:"request-failed"
+       (handle_ok s
+          (Json.Obj
+             [
+               ("op", Json.String "advise");
+               ("graph", Json.String "ring:6");
+               ("task", Json.String "s");
+             ])))
+
+let test_service_cache_behaviour () =
+  let s = Service.create () in
+  let m = Service.metrics s in
+  let r1 = result_of (handle_ok s (advise_req "gclass:3,1,2")) in
+  let r2 = result_of (handle_ok s (advise_req "gclass:3,1,2")) in
+  Alcotest.(check bool)
+    "first advise is cold"
+    true
+    (Json.member "cached" r1 = Some (Json.Bool false));
+  Alcotest.(check bool)
+    "second advise is warm"
+    true
+    (Json.member "cached" r2 = Some (Json.Bool true));
+  Alcotest.(check string)
+    "same advice both times"
+    (Json.to_string (Option.get (Json.member "advice" r1)))
+    (Json.to_string (Option.get (Json.member "advice" r2)));
+  Alcotest.(check int) "one oracle run" 1 (counter m "advise_computes");
+  Alcotest.(check int) "one cache hit" 1 (counter m "advice_cache_hits");
+  (* an isomorphic renumbering shares the cache entry: same canonical
+     digest, no second oracle run *)
+  let g = Shades_graph.Gen.path 7 in
+  let base = result_of (handle_ok s
+    (Json.Obj [ ("op", Json.String "advise");
+                ("graph", Protocol.graph_to_json g);
+                ("task", Json.String "pe") ])) in
+  let renum =
+    let n = Shades_graph.Port_graph.order g in
+    let perm v = (v + 3) mod n in
+    Shades_graph.Port_graph.of_edges n
+      (List.map
+         (fun ((v, p), (u, q)) -> ((perm v, p), (perm u, q)))
+         (Shades_graph.Port_graph.edges g))
+  in
+  let iso = result_of (handle_ok s
+    (Json.Obj [ ("op", Json.String "advise");
+                ("graph", Protocol.graph_to_json renum);
+                ("task", Json.String "pe") ])) in
+  Alcotest.(check bool)
+    "isomorphic submission is a cache hit" true
+    (Json.member "cached" iso = Some (Json.Bool true));
+  Alcotest.(check string)
+    "isomorphic submissions share a digest"
+    (Json.to_string (Option.get (Json.member "digest" base)))
+    (Json.to_string (Option.get (Json.member "digest" iso)))
+
+let test_service_eviction () =
+  let s = Service.create ~cache_capacity:1 () in
+  let m = Service.metrics s in
+  ignore (handle_ok s (advise_req "path:5"));
+  ignore (handle_ok s (advise_req "path:6"));
+  ignore (handle_ok s (advise_req "path:5"));
+  Alcotest.(check int) "capacity 1 evicts" 2 (counter m "advice_cache_evictions");
+  Alcotest.(check int) "every advise recomputed" 3 (counter m "advise_computes")
+
+let test_service_elect_and_verify () =
+  let s = Service.create () in
+  let elect =
+    result_of
+      (handle_ok s
+         (Json.Obj
+            [
+              ("op", Json.String "elect");
+              ("graph", Json.String "path:6");
+              ("task", Json.String "pe");
+            ]))
+  in
+  Alcotest.(check bool)
+    "elect verified" true
+    (Json.member "verified" elect = Some (Json.Bool true));
+  let outputs = Option.get (Json.member "outputs" elect) in
+  let verify_req outputs =
+    Json.Obj
+      [
+        ("op", Json.String "verify");
+        ("graph", Json.String "path:6");
+        ("task", Json.String "pe");
+        ("outputs", outputs);
+      ]
+  in
+  let verdict = result_of (handle_ok s (verify_req outputs)) in
+  Alcotest.(check bool)
+    "claimed outputs check out" true
+    (Json.member "valid" verdict = Some (Json.Bool true));
+  (* corrupt one claim: a second leader must be rejected with a reason *)
+  let corrupted =
+    match outputs with
+    | Json.List (_ :: rest) -> Json.List (Json.String "leader" :: rest)
+    | _ -> Alcotest.fail "outputs should be a list"
+  in
+  let verdict = result_of (handle_ok s (verify_req corrupted)) in
+  Alcotest.(check bool)
+    "corrupted outputs rejected" true
+    (Json.member "valid" verdict = Some (Json.Bool false));
+  Alcotest.(check bool)
+    "with a reason" true
+    (Json.member "reason" verdict <> None)
+
+let test_service_verify_trace () =
+  let s = Service.create () in
+  (* record a trace exactly as `shades trace record` does *)
+  let open Shades_trace in
+  let g = Shades_graph.Gen.path 6 in
+  let r = Trace.recorder () in
+  ignore
+    (Shades_election.Scheme.run ~tracer:(Trace.emit r)
+       Shades_election.Map_advice.port_election g);
+  let trace =
+    Trace.capture r
+      {
+        Trace.engine = Trace.Sync;
+        graph_order = Shades_graph.Port_graph.order g;
+        advice_bits = 0;
+        label = "pe path:6";
+      }
+  in
+  let blob = Codec.encode trace in
+  let req hex =
+    Json.Obj [ ("op", Json.String "verify-trace"); ("trace", Json.String hex) ]
+  in
+  let verdict = result_of (handle_ok s (req (Protocol.hex_encode blob))) in
+  Alcotest.(check bool)
+    "genuine trace replays clean" true
+    (Json.member "valid" verdict = Some (Json.Bool true));
+  (* flip one byte deep in the event stream: decode or replay must fail,
+     never accept *)
+  let tampered = Bytes.of_string blob in
+  let pos = Bytes.length tampered - 3 in
+  Bytes.set tampered pos (Char.chr (Char.code (Bytes.get tampered pos) lxor 0xff));
+  let reply = handle_ok s (req (Protocol.hex_encode (Bytes.to_string tampered))) in
+  let accepted =
+    (not (is_error reply))
+    && Json.member "valid" (result_of reply) = Some (Json.Bool true)
+  in
+  Alcotest.(check bool) "tampered trace is not accepted" false accepted
+
+(* --- end to end over a Unix socket --- *)
+
+let test_daemon_end_to_end () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shades-test-%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Protocol.Unix_path socket in
+  let service = Service.create () in
+  let daemon = Domain.spawn (fun () -> Daemon.run ~domains:2 endpoint service) in
+  let conn =
+    let rec retry n =
+      match Client.connect endpoint with
+      | Ok c -> c
+      | Error e ->
+          if n = 0 then Alcotest.fail ("daemon never came up: " ^ e)
+          else (
+            Unix.sleepf 0.05;
+            retry (n - 1))
+    in
+    retry 100
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () ->
+      let ask req = Result.get_ok (Client.request conn req) in
+      let cold = result_of (ask (advise_req "gclass:3,1,2")) in
+      let warm = result_of (ask (advise_req "gclass:3,1,2")) in
+      Alcotest.(check bool)
+        "cold then warm over the wire" true
+        (Json.member "cached" cold = Some (Json.Bool false)
+        && Json.member "cached" warm = Some (Json.Bool true));
+      (* a second concurrent client sees the same shared cache *)
+      let other = Result.get_ok (Client.connect endpoint) in
+      let from_other =
+        Fun.protect
+          ~finally:(fun () -> Client.close other)
+          (fun () -> result_of (Result.get_ok (Client.request other (advise_req "gclass:3,1,2"))))
+      in
+      Alcotest.(check bool)
+        "cache shared across connections" true
+        (Json.member "cached" from_other = Some (Json.Bool true));
+      let stats = result_of (ask (Json.Obj [ ("op", Json.String "stats") ])) in
+      let computes =
+        match Json.member "counters" stats with
+        | Some c -> (
+            match Json.member "advise_computes" c with
+            | Some v -> Json.member "value" v
+            | None -> None)
+        | None -> None
+      in
+      Alcotest.(check bool)
+        "exactly one oracle run for three advises" true
+        (computes = Some (Json.Int 1));
+      (* bad JSON in a good frame: this request fails, the next works *)
+      let reply = ask (Json.Obj [ ("op", Json.Int 3) ]) in
+      Alcotest.(check bool) "non-string op rejected" true (is_error reply);
+      let again = ask (advise_req "gclass:3,1,2") in
+      Alcotest.(check bool)
+        "connection survives a rejected request" true (not (is_error again));
+      let bye = ask (Json.Obj [ ("op", Json.String "shutdown") ]) in
+      Alcotest.(check bool) "shutdown acknowledged" true (not (is_error bye)));
+  Domain.join daemon;
+  Alcotest.(check bool)
+    "socket file removed on shutdown" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "shades_server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "frame errors" `Quick test_frame_errors;
+          Alcotest.test_case "hex codec" `Quick test_hex;
+          Alcotest.test_case "endpoints" `Quick test_endpoints;
+          Alcotest.test_case "graph json" `Quick test_graph_json;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru semantics" `Quick test_cache_lru;
+          Alcotest.test_case "find_or_compute" `Quick test_cache_find_or_compute;
+          Alcotest.test_case "concurrent hammering" `Quick test_cache_concurrent;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "structured errors" `Quick test_service_errors;
+          Alcotest.test_case "cache behaviour" `Quick test_service_cache_behaviour;
+          Alcotest.test_case "eviction" `Quick test_service_eviction;
+          Alcotest.test_case "elect + verify" `Quick test_service_elect_and_verify;
+          Alcotest.test_case "verify-trace" `Quick test_service_verify_trace;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "end to end" `Quick test_daemon_end_to_end ] );
+    ]
