@@ -19,8 +19,19 @@ LINT_REPORT ?= /tmp/shades_lint_report.json
 # uploads the daemon's own counters as an artifact.
 SERVE_SOCKET ?= /tmp/shades_serve_smoke.sock
 SERVE_METRICS ?= /tmp/shades_serve_metrics.json
+# Speed gate (BENCH_micro): tolerance bands for the micro-benchmark
+# compare, and where the raw measurement JSON lands so a failing gate
+# can upload it as a CI artifact.  The time band is generous because
+# wall-time medians travel badly across machines (CI widens it
+# further); the allocation band is tight because words/run are nearly
+# machine-independent and carry the real regression signal.
+BENCH_TIME_TOL ?= 3.0
+BENCH_ALLOC_TOL ?= 1.5
+BENCH_QUOTA ?= 0.5
+BENCH_RAW ?= /tmp/shades_bench_raw.json
 
-.PHONY: all check build test lint smoke serve-smoke sweep bless doc bench clean
+.PHONY: all check build test lint smoke serve-smoke sweep bless doc bench \
+	bench-engine clean
 
 all: check
 
@@ -47,8 +58,12 @@ lint:
 # event) per drifted job (exit 1 divergent, 2 unreadable baseline).
 # Intentional changes go through `make bless`.  Tracing is
 # metrics-neutral, so recording never perturbs the measurement gate.
-# Order: build → lint → tests → measurement gate → forensics gate, so
-# a source-hygiene regression fails before any baseline is consulted.
+# Last comes the speed gate: the micro-benchmarks compared against
+# BENCH_micro/baseline.json with the tolerance bands above, so a
+# hot-path slowdown or allocation regression also fails check.
+# Order: build → lint → tests → measurement gate → forensics gate →
+# daemon smoke → speed gate, so a source-hygiene regression fails
+# before any baseline is consulted and the slowest step runs last.
 check:
 	dune build @all
 	@mkdir -p $(dir $(LINT_REPORT))
@@ -63,6 +78,10 @@ check:
 	@mkdir -p $(dir $(SERVE_METRICS))
 	SERVE_SOCKET=$(SERVE_SOCKET) SERVE_METRICS=$(SERVE_METRICS) \
 	    sh scripts/serve_smoke.sh
+	@mkdir -p $(dir $(BENCH_RAW))
+	dune exec bench/main.exe -- --quota $(BENCH_QUOTA) \
+	    --compare BENCH_micro/baseline.json --json $(BENCH_RAW) \
+	    --time-tolerance $(BENCH_TIME_TOL) --alloc-tolerance $(BENCH_ALLOC_TOL)
 
 # Boot the daemon on a Unix socket, hit every endpoint once through the
 # client, and assert a repeated advise is a cache hit (no oracle rerun).
@@ -90,6 +109,7 @@ sweep:
 bless: sweep
 	dune exec bin/shades_cli.exe -- sweep --tiny --sharded -o BENCH_tiny
 	dune exec bin/shades_cli.exe -- trace bless -b BENCH_tiny/traces
+	dune exec bench/main.exe -- --quota $(BENCH_QUOTA) -o BENCH_micro/baseline.json
 
 # Build the odoc API reference for the public libraries (landing at
 # _build/default/_doc/_html/index.html).  The container used for local
@@ -104,8 +124,16 @@ doc:
 	    echo "odoc not installed — skipping (CI builds the docs; try 'opam install odoc')"; \
 	fi
 
+# Print the full micro-benchmark table (medians per kernel).  The
+# speed gate itself is the --compare step inside `make check`; the
+# wall-clock sequential-vs-sharded shootout is `make bench-engine`.
 bench:
 	dune exec bench/main.exe
+
+# Wall-clock shootout on a 50k-vertex graph; --assert enforces the
+# sharded win on machines with >= 4 cores and SKIPs honestly elsewhere.
+bench-engine:
+	dune exec bench/engine_bench.exe -- --assert
 
 clean:
 	dune clean

@@ -1,12 +1,20 @@
-(* Benchmark harness: one Bechamel test per experiment in EXPERIMENTS.md.
+(* Benchmark harness: one Bechamel test per experiment in EXPERIMENTS.md,
+   plus the speed-gate plumbing around it.
 
    The paper is a theory paper, so its "tables and figures" are
    constructions and bounds; each bench regenerates one of them —
    building the lower-bound families, computing view refinements and
    election indexes, producing oracle advice, and running the
-   minimum-time algorithms through the LOCAL simulator.
+   minimum-time algorithms through the LOCAL simulator (sequential and
+   vertex-sharded).
 
-   Run with: dune exec bench/main.exe *)
+   Beyond the classic table (dune exec bench/main.exe), the harness
+   reads and writes BENCH_micro baselines: per-kernel median wall time
+   and allocation words, blessed with --out (make bless) and gated with
+   --compare (make check / CI), with tolerance bands wide enough to
+   survive machine noise — time medians travel badly across hosts, so
+   the time band is generous and the nearly machine-independent
+   allocation bands carry most of the regression-catching weight. *)
 
 open Bechamel
 open Toolkit
@@ -14,6 +22,7 @@ open Shades_graph
 open Shades_views
 open Shades_election
 open Shades_families
+module Json = Shades_json.Json
 
 let stage = Staged.stage
 
@@ -137,6 +146,60 @@ let bench_sim =
                ~decide:(fun ~advice:_ v -> v.View_tree.degree)));
     ]
 
+(* --- engine hot path: CSR adjacency and the sharded executor --- *)
+
+(* A cheap constant-size-message algorithm, so these kernels time the
+   engines themselves (adjacency walks, inbox plumbing, barriers), not
+   view-tree construction. *)
+let countdown r =
+  {
+    Shades_localsim.Engine.init = (fun ~degree ~advice:_ -> (degree, r));
+    send = (fun (_, left) ~port:_ -> if left > 0 then Some () else None);
+    step = (fun (d, left) _ -> (d, left - 1));
+    output = (fun (d, left) -> if left <= 0 then Some d else None);
+  }
+
+let bench_engine =
+  let g = Gen.random (Random.State.make [| 31 |]) 2_000 ~extra_edges:1_000 in
+  let csr = Port_graph.Csr.of_graph g in
+  let no_advice = Shades_bits.Bitstring.empty in
+  Test.make_grouped ~name:"engine"
+    [
+      Test.make ~name:"csr_build_n2000"
+        (stage (fun () -> Port_graph.Csr.of_graph g));
+      (* the same every-port sweep the engines run each round, on the
+         two adjacency representations the repo has *)
+      Test.make ~name:"csr_walk_n2000"
+        (stage (fun () ->
+             let acc = ref 0 in
+             for v = 0 to Port_graph.Csr.order csr - 1 do
+               for p = 0 to Port_graph.Csr.degree csr v - 1 do
+                 acc :=
+                   !acc
+                   + Port_graph.Csr.neighbor_vertex csr v p
+                   + Port_graph.Csr.neighbor_port csr v p
+               done
+             done;
+             !acc));
+      Test.make ~name:"adj_walk_n2000"
+        (stage (fun () ->
+             let acc = ref 0 in
+             for v = 0 to Port_graph.order g - 1 do
+               for p = 0 to Port_graph.degree g v - 1 do
+                 let u, q = Port_graph.neighbor g v p in
+                 acc := !acc + u + q
+               done
+             done;
+             !acc));
+      Test.make ~name:"seq_countdown_n2000"
+        (stage (fun () ->
+             Shades_localsim.Engine.run g ~advice:no_advice (countdown 3)));
+      Test.make ~name:"sharded_countdown_d2_n2000"
+        (stage (fun () ->
+             Shades_localsim.Sharded_engine.run ~domains:2 g
+               ~advice:no_advice (countdown 3)));
+    ]
+
 (* --- E25-E29 extensions: reconstruction, tradeoff, exact advice --- *)
 
 let bench_extensions =
@@ -166,14 +229,7 @@ let bench_extensions =
       Test.make ~name:"async_flooding_n40"
         (stage (fun () ->
              Shades_localsim.Async_engine.run g
-               ~advice:Shades_bits.Bitstring.empty
-               {
-                 Shades_localsim.Engine.init =
-                   (fun ~degree ~advice:_ -> (degree, 3));
-                 send = (fun (_, l) ~port:_ -> if l > 0 then Some () else None);
-                 step = (fun (d, l) _ -> (d, l - 1));
-                 output = (fun (d, l) -> if l <= 0 then Some d else None);
-               }));
+               ~advice:Shades_bits.Bitstring.empty (countdown 3)));
       Test.make ~name:"pe_sharable_u41"
         (stage (fun () -> Min_advice.pe_sharable ~depth:1 ua ub));
       Test.make ~name:"labelings_path5"
@@ -205,42 +261,332 @@ let all_tests =
   Test.make_grouped ~name:"shades"
     [
       bench_index; bench_views; bench_gclass; bench_uclass; bench_jclass;
-      bench_fooling; bench_sim; bench_extensions; bench_labeled;
+      bench_fooling; bench_sim; bench_engine; bench_extensions; bench_labeled;
     ]
 
-let () =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+(* --- measurement: per-kernel medians over the raw samples ---
+
+   OLS slopes are great locally but fold sampling noise into the
+   estimate in ways that vary across machines; for a gate we want a
+   robust location statistic, so each kernel's figure is the median of
+   the per-run values over all raw samples. *)
+
+type figures = {
+  time_ns : float;  (** median wall time per run *)
+  minor_words : float;  (** median minor-heap words allocated per run *)
+  major_words : float;  (** median major-heap words allocated per run *)
+}
+
+let median a =
+  let a = Array.copy a in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n land 1 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let label_clock = Measure.label Instance.monotonic_clock
+let label_minor = Measure.label Instance.minor_allocated
+let label_major = Measure.label Instance.major_allocated
+
+let figures_of_benchmark (b : Benchmark.t) =
+  let per_run label =
+    median
+      (Array.map
+         (fun m -> Measurement_raw.get ~label m /. Measurement_raw.run m)
+         b.Benchmark.lr)
   in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  {
+    time_ns = per_run label_clock;
+    minor_words = per_run label_minor;
+    major_words = per_run label_major;
+  }
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  nl = 0
+  ||
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
   in
-  let raw = Benchmark.all cfg instances all_tests in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw) instances
+  go 0
+
+let measure ~quota ~filter () =
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated ]
   in
-  let results = Analyze.merge ols instances results in
-  (* Plain-text report: time per run, by test. *)
-  Printf.printf "%-48s %16s\n" "benchmark" "time/run";
-  Printf.printf "%s\n" (String.make 66 '-');
-  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
-  let rows =
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  Test.elements all_tests
+  |> List.filter (fun elt ->
+         match filter with
+         | None -> true
+         | Some needle -> contains ~needle (Test.Elt.name elt))
+  |> List.map (fun elt ->
+         (Test.Elt.name elt, figures_of_benchmark (Benchmark.run cfg instances elt)))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- baseline file I/O (BENCH_micro/baseline.json) --- *)
+
+let baseline_version = 1
+
+let figures_to_json f =
+  Json.Obj
+    [
+      ("time_ns", Json.Float f.time_ns);
+      ("minor_words", Json.Float f.minor_words);
+      ("major_words", Json.Float f.major_words);
+    ]
+
+let number name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> failwith ("baseline: kernel entry needs a numeric " ^ name)
+
+let baseline_to_json ~quota results =
+  Json.Obj
+    [
+      ("version", Json.Int baseline_version);
+      ("quota_s", Json.Float quota);
+      ( "kernels",
+        Json.Obj (List.map (fun (n, f) -> (n, figures_to_json f)) results) );
+    ]
+
+let baseline_of_json j =
+  (match Json.member "version" j with
+  | Some (Json.Int v) when v = baseline_version -> ()
+  | Some (Json.Int v) ->
+      failwith (Printf.sprintf "baseline: format v%d, expected v%d" v
+                  baseline_version)
+  | _ -> failwith "baseline: missing version");
+  match Json.member "kernels" j with
+  | Some (Json.Obj kernels) ->
+      List.map
+        (fun (name, entry) ->
+          ( name,
+            {
+              time_ns = number "time_ns" entry;
+              minor_words = number "minor_words" entry;
+              major_words = number "major_words" entry;
+            } ))
+        kernels
+  | _ -> failwith "baseline: missing kernels object"
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents; output_char oc '\n')
+
+let read_json path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> failwith e
+  | text -> (
+      match Json.of_string text with
+      | Ok j -> j
+      | Error e -> failwith (path ^ ": " ^ e))
+
+(* --- comparison with tolerance bands ---
+
+   A kernel regresses when the current median exceeds baseline *
+   tolerance AND the absolute excess clears a floor — the floor keeps
+   nanosecond-scale kernels and allocation-free loops from flapping on
+   scheduler or GC jitter.  Improvements never fail the gate (they are
+   reported, with a nudge to re-bless). *)
+
+let time_floor_ns = 1_000.0
+let alloc_floor_words = 256.0
+
+type verdict = {
+  kernel : string;
+  metric : string;
+  base_v : float;
+  cur_v : float;
+  tolerance : float;
+}
+
+let compare_results ~time_tolerance ~alloc_tolerance ~baseline ~current =
+  let regressions = ref [] in
+  let missing = ref [] in
+  let improved = ref 0 in
   List.iter
-    (fun (name, ols) ->
-      let ns =
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] -> est
-        | _ -> nan
+    (fun (name, cur) ->
+      match List.assoc_opt name baseline with
+      | None -> missing := name :: !missing
+      | Some base ->
+          let check metric base_v cur_v tolerance floor =
+            if cur_v > (base_v *. tolerance) +. epsilon_float
+               && cur_v -. base_v > floor
+            then
+              regressions :=
+                { kernel = name; metric; base_v; cur_v; tolerance }
+                :: !regressions
+            else if cur_v *. tolerance < base_v && base_v -. cur_v > floor
+            then incr improved
+          in
+          check "time_ns" base.time_ns cur.time_ns time_tolerance
+            time_floor_ns;
+          check "minor_words" base.minor_words cur.minor_words
+            alloc_tolerance alloc_floor_words;
+          check "major_words" base.major_words cur.major_words
+            alloc_tolerance alloc_floor_words)
+    current;
+  (List.rev !regressions, List.rev !missing, !improved)
+
+(* --- reporting --- *)
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_table results =
+  Printf.printf "%-48s %12s %14s %14s\n" "benchmark" "time/run"
+    "minor w/run" "major w/run";
+  Printf.printf "%s\n" (String.make 92 '-');
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "%-48s %12s %14.0f %14.0f\n" name (pretty_ns f.time_ns)
+        f.minor_words f.major_words)
+    results
+
+(* --- CLI --- *)
+
+let run out compare_with time_tolerance alloc_tolerance json_out quota filter
+    =
+  let results = measure ~quota ~filter () in
+  if results = [] then failwith "bench: no kernels match the filter";
+  print_table results;
+  Option.iter
+    (fun path ->
+      write_file path (Json.to_string (baseline_to_json ~quota results));
+      Printf.printf "wrote %d kernel baseline%s to %s\n" (List.length results)
+        (if List.length results = 1 then "" else "s")
+        path)
+    json_out;
+  Option.iter
+    (fun path ->
+      write_file path (Json.to_string (baseline_to_json ~quota results));
+      Printf.printf "blessed %d kernel%s into %s\n" (List.length results)
+        (if List.length results = 1 then "" else "s")
+        path)
+    out;
+  match compare_with with
+  | None -> ()
+  | Some path ->
+      let baseline = baseline_of_json (read_json path) in
+      let regressions, missing, improved =
+        compare_results ~time_tolerance ~alloc_tolerance ~baseline
+          ~current:results
       in
-      let pretty =
-        if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-        else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-        else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-        else Printf.sprintf "%.0f ns" ns
-      in
-      Printf.printf "%-48s %16s\n" name pretty)
-    rows
+      List.iter
+        (fun name ->
+          Printf.printf "note: %s has no blessed baseline (new kernel — run \
+                         'make bless')\n"
+            name)
+        missing;
+      if improved > 0 then
+        Printf.printf
+          "note: %d metric%s improved beyond the tolerance band — consider \
+           're-blessing' to tighten the gate\n"
+          improved
+          (if improved = 1 then "" else "s");
+      if regressions = [] then
+        Printf.printf
+          "bench gate: %d kernel%s within tolerance of %s (time x%.1f, \
+           alloc x%.1f)\n"
+          (List.length results)
+          (if List.length results = 1 then "" else "s")
+          path time_tolerance alloc_tolerance
+      else begin
+        List.iter
+          (fun v ->
+            Printf.eprintf
+              "bench gate: %s %s regressed: %.0f -> %.0f (x%.2f, tolerance \
+               x%.1f)\n"
+              v.kernel v.metric v.base_v v.cur_v (v.cur_v /. v.base_v)
+              v.tolerance)
+          regressions;
+        Printf.eprintf "bench gate: FAILED, %d regression%s against %s\n"
+          (List.length regressions)
+          (if List.length regressions = 1 then "" else "s")
+          path;
+        exit 1
+      end
+
+let () =
+  let open Cmdliner in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Bless: write the measured per-kernel medians as the new \
+             baseline FILE (the BENCH_micro store 'make bless' commits).")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:
+            "Gate: compare the measured medians against the blessed \
+             baseline FILE and exit 1 on any metric outside its tolerance \
+             band.")
+  in
+  let time_tol_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "time-tolerance" ] ~docv:"X"
+          ~doc:
+            "Time band for $(b,--compare): fail when a kernel's median wall \
+             time exceeds X times its baseline.  Generous by design — \
+             medians travel badly across machines; CI uses a wider band \
+             than local runs.")
+  in
+  let alloc_tol_arg =
+    Arg.(
+      value & opt float 1.5
+      & info [ "alloc-tolerance" ] ~docv:"X"
+          ~doc:
+            "Allocation band for $(b,--compare): fail when a kernel's \
+             median minor- or major-heap words exceed X times the \
+             baseline.  Tight by design — allocation counts are nearly \
+             machine-independent, so this band catches real hot-path \
+             regressions the time band would forgive.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also dump the measured medians as JSON to FILE (the CI \
+             artifact uploaded when the gate fails).")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "quota" ] ~docv:"SECS"
+          ~doc:"Bechamel time quota per kernel, in seconds.")
+  in
+  let filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"SUBSTR"
+          ~doc:"Only run kernels whose full name contains SUBSTR.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "shades_bench"
+         ~doc:
+           "Micro-benchmarks over the paper's kernels, with a blessable \
+            speed baseline (median ns and allocation words per kernel).")
+      Term.(
+        const run $ out_arg $ compare_arg $ time_tol_arg $ alloc_tol_arg
+        $ json_arg $ quota_arg $ filter_arg)
+  in
+  exit (Cmd.eval cmd)

@@ -28,6 +28,36 @@ let graph_arg =
 
 let pp_psi = function Some k -> string_of_int k | None -> "infinite"
 
+(* --- execution-engine flags (shared by elect, sweep, trace) ---
+
+   Sharding is an execution strategy: results, telemetry and traces are
+   identical to the sequential engine for every domain count, so these
+   flags never change what a command measures — only how fast. *)
+
+let strategy_of_flags ~engine ~domains =
+  match String.lowercase_ascii engine with
+  | "sequential" | "seq" -> None
+  | "sharded" -> Some (Shades_runtime.Sweep.Sharded { domains })
+  | e -> failwith ("unknown engine: " ^ e ^ " (expected sequential or sharded)")
+
+let engine_flag_arg =
+  Arg.(
+    value & opt string "sequential"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine for synchronous runs: $(b,sequential), or \
+           $(b,sharded) — the vertex-sharded parallel engine, which \
+           produces identical outputs, telemetry and traces on any \
+           domain count.")
+
+let engine_domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "engine-domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,--engine sharded) (default: recommended \
+           domain count minus one).")
+
 (* --- index --- *)
 
 let index_cmd =
@@ -73,8 +103,14 @@ let views_cmd =
 (* --- elect --- *)
 
 let elect_cmd =
-  let run spec task =
+  let run spec task engine domains =
     let g = parse_graph spec in
+    let run_scheme scheme =
+      match strategy_of_flags ~engine ~domains with
+      | None | Some Shades_runtime.Sweep.Sequential -> Scheme.run scheme g
+      | Some (Shades_runtime.Sweep.Sharded { domains }) ->
+          Scheme.run_sharded ?domains scheme g
+    in
     let report verify pp r =
       match verify g r.Scheme.outputs with
       | Ok leader ->
@@ -99,19 +135,19 @@ let elect_cmd =
     | "s" ->
         report Verify.selection
           (pp_answer (fun () -> "non-leader"))
-          (Scheme.run Select_by_view.scheme g)
+          (run_scheme Select_by_view.scheme)
     | "pe" ->
         report Verify.port_election
           (pp_answer string_of_int)
-          (Scheme.run Map_advice.port_election g)
+          (run_scheme Map_advice.port_election)
     | "ppe" ->
         report Verify.port_path_election
           (pp_answer (fun ps ->
                "[" ^ String.concat ";" (List.map string_of_int ps) ^ "]"))
-          (Scheme.run Map_advice.port_path_election g)
+          (run_scheme Map_advice.port_path_election)
     | "cppe" ->
         report Verify.complete_port_path_election (pp_answer pp_pairs)
-          (Scheme.run Map_advice.complete_port_path_election g)
+          (run_scheme Map_advice.complete_port_path_election)
     | t -> failwith ("unknown task: " ^ t)
   in
   let task_arg =
@@ -119,12 +155,20 @@ let elect_cmd =
       value & opt string "s"
       & info [ "t"; "task" ] ~docv:"TASK" ~doc:"One of s, pe, ppe, cppe.")
   in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for $(b,--engine sharded) (default: recommended \
+             domain count minus one).")
+  in
   Cmd.v
     (Cmd.info "elect"
        ~doc:
          "Run a minimum-time leader election scheme through the LOCAL \
           simulator.")
-    Term.(const run $ graph_arg $ task_arg)
+    Term.(const run $ graph_arg $ task_arg $ engine_flag_arg $ domains_arg)
 
 (* --- dot --- *)
 
@@ -240,10 +284,12 @@ let labelings_cmd =
 let sweep_cmd =
   let open Shades_runtime in
   let run family delta_lo delta_hi k_lo k_hi sigmas is mus zeffs max_order
-      domains out sharded tiny compare_with strict trace_out =
+      domains out sharded tiny compare_with strict trace_out engine
+      engine_domains =
     let domains =
       match domains with Some d -> d | None -> Pool.default_domains ()
     in
+    let strategy = strategy_of_flags ~engine ~domains:engine_domains in
     (* Sweep-level registry: J-class points skipped by the node budget
        are tallied here — the grid shrinking must never be silent. *)
     let sweep_metrics = Metrics.create () in
@@ -251,19 +297,20 @@ let sweep_cmd =
       if tiny then
         (* the smallest honest grid — the CI smoke test and the grid
            `make check` gates against the committed baseline *)
-        (Sweep.tiny_jobs (), "tiny grid")
+        (Sweep.tiny_jobs ?strategy (), "tiny grid")
       else begin
         let delta = Sweep.range "delta" ~lo:delta_lo ~hi:delta_hi in
         let k = Sweep.range "k" ~lo:k_lo ~hi:k_hi in
         let g_jobs () =
-          Sweep.gclass_jobs (Sweep.cross [ delta; k; Sweep.axis "i" is ])
+          Sweep.gclass_jobs ?strategy
+            (Sweep.cross [ delta; k; Sweep.axis "i" is ])
         in
         let u_jobs () =
-          Sweep.uclass_jobs
+          Sweep.uclass_jobs ?strategy
             (Sweep.cross [ delta; k; Sweep.axis "sigma" sigmas ])
         in
         let j_jobs () =
-          Sweep.jclass_jobs ~max_order ~metrics:sweep_metrics
+          Sweep.jclass_jobs ?strategy ~max_order ~metrics:sweep_metrics
             (Sweep.cross [ Sweep.axis "mu" mus; k; Sweep.axis "z_eff" zeffs ])
         in
         let jobs =
@@ -514,7 +561,8 @@ let sweep_cmd =
     Term.(
       const run $ family_arg $ delta_lo $ delta_hi $ k_lo $ k_hi $ sigmas_arg
       $ is_arg $ mus_arg $ zeffs_arg $ max_order_arg $ domains_arg $ out_arg
-      $ sharded_arg $ tiny_arg $ compare_arg $ strict_arg $ trace_out_arg)
+      $ sharded_arg $ tiny_arg $ compare_arg $ strict_arg $ trace_out_arg
+      $ engine_flag_arg $ engine_domains_arg)
 
 (* --- trace --- *)
 
@@ -772,12 +820,16 @@ let trace_domains_arg =
               changes what gets blessed or gated.")
 
 let trace_bless_cmd =
-  let run dir domains =
+  let run dir domains engine engine_domains =
     let open Shades_runtime in
     let domains =
       match domains with Some d -> d | None -> Pool.default_domains ()
     in
-    let jobs = Sweep.tiny_jobs () in
+    let jobs =
+      Sweep.tiny_jobs
+        ?strategy:(strategy_of_flags ~engine ~domains:engine_domains)
+        ()
+    in
     let traced, _ = Sweep.run_traced ~domains jobs in
     let keyed =
       List.map2 (fun job (_, tr) -> (Sweep.key_of_job job, tr)) jobs traced
@@ -799,15 +851,21 @@ let trace_bless_cmd =
          "Re-record the tiny grid and commit its traces as the blessed \
           baselines that $(b,trace gate) (and 'make check') compare \
           against.  Unchanged traces are left untouched on disk.")
-    Term.(const run $ baseline_dir_arg $ trace_domains_arg)
+    Term.(
+      const run $ baseline_dir_arg $ trace_domains_arg $ engine_flag_arg
+      $ engine_domains_arg)
 
 let trace_gate_cmd =
-  let run dir json_out domains =
+  let run dir json_out domains engine engine_domains =
     let open Shades_runtime in
     let domains =
       match domains with Some d -> d | None -> Pool.default_domains ()
     in
-    let jobs = Sweep.tiny_jobs () in
+    let jobs =
+      Sweep.tiny_jobs
+        ?strategy:(strategy_of_flags ~engine ~domains:engine_domains)
+        ()
+    in
     let _, report = Sweep.run_traced ~domains ~baseline:dir jobs in
     match report with
     | None | Some (Error _) ->
@@ -856,7 +914,9 @@ let trace_gate_cmd =
           blessed baselines, failing with the first divergent (round, \
           vertex, event) per drifted job.  Unchanged traces are skipped by \
           digest without decoding.")
-    Term.(const run $ baseline_dir_arg $ json_arg $ trace_domains_arg)
+    Term.(
+      const run $ baseline_dir_arg $ json_arg $ trace_domains_arg
+      $ engine_flag_arg $ engine_domains_arg)
 
 let trace_cmd =
   Cmd.group
@@ -1164,7 +1224,7 @@ let client_cmd =
     Printf.eprintf "shades-client: %s\n" msg;
     exit 124
   in
-  let run connect op spec task engine seed outputs trace_file =
+  let run connect op spec task engine seed domains outputs trace_file =
     let graph_members () =
       match spec with
       | Some s -> [ ("graph", Json.String s); ("task", Json.String task) ]
@@ -1178,7 +1238,11 @@ let client_cmd =
           Json.Obj
             ((("op", Json.String op) :: graph_members ())
             @ [ ("engine", Json.String engine) ]
-            @ if engine = "async" then [ ("seed", Json.Int seed) ] else [])
+            @ (if engine = "async" then [ ("seed", Json.Int seed) ] else [])
+            @
+            match domains with
+            | Some d when engine = "sharded" -> [ ("domains", Json.Int d) ]
+            | _ -> [])
       | "verify" ->
           let text =
             match outputs with
@@ -1279,13 +1343,22 @@ let client_cmd =
     Arg.(
       value & opt string "sync"
       & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"Election engine for $(b,elect): sync or async.")
+          ~doc:
+            "Election engine for $(b,elect): sync, sharded (vertex-sharded \
+             parallel execution, identical results) or async.")
   in
   let seed_arg =
     Arg.(
       value & opt int 0
       & info [ "seed" ] ~docv:"SEED"
           ~doc:"Adversary schedule seed for $(b,--engine async).")
+  in
+  let client_domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for $(b,--engine sharded).")
   in
   let outputs_arg =
     Arg.(
@@ -1312,7 +1385,7 @@ let client_cmd =
           invalid verdict, 2 when the endpoint is unreachable.")
     Term.(
       const run $ connect_arg $ op_arg $ spec_arg $ task_arg $ engine_arg
-      $ seed_arg $ outputs_arg $ trace_arg)
+      $ seed_arg $ client_domains_arg $ outputs_arg $ trace_arg)
 
 let () =
   let doc =

@@ -17,6 +17,17 @@ let run_with_advice ?on_round ?tracer scheme g ~advice =
 let run ?on_round ?tracer scheme g =
   run_with_advice ?on_round ?tracer scheme g ~advice:(scheme.oracle g)
 
+let run_sharded_with_advice ?domains ?on_round ?tracer scheme g ~advice =
+  let outputs, rounds =
+    Shades_localsim.Full_info.run_adaptive_sharded ?domains ?on_round ?tracer
+      g ~advice ~rounds_of:scheme.rounds_of ~decide:scheme.decide
+  in
+  { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }
+
+let run_sharded ?domains ?on_round ?tracer scheme g =
+  run_sharded_with_advice ?domains ?on_round ?tracer scheme g
+    ~advice:(scheme.oracle g)
+
 let run_async ?seed ?on_round ?tracer scheme g =
   let advice = scheme.oracle g in
   let outputs, rounds =

@@ -50,6 +50,31 @@ val run_with_advice :
   advice:Shades_bits.Bitstring.t ->
   'o run
 
+(** Like {!run}, executed on the vertex-sharded parallel engine
+    ({!Shades_localsim.Sharded_engine}) with [domains] worker domains.
+    Outputs, round count, telemetry, and the trace stream are identical
+    to {!run} for every domain count — sharding is an execution
+    strategy, invisible in results and traces. *)
+val run_sharded :
+  ?domains:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  'o t ->
+  Shades_graph.Port_graph.t ->
+  'o run
+
+(** {!run_sharded} under a forced advice string — the sharded analogue
+    of {!run_with_advice}, and what the election daemon uses to serve
+    sharded requests against its advice cache. *)
+val run_sharded_with_advice :
+  ?domains:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  'o t ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  'o run
+
 (** Asynchronous execution (seeded adversarial delays, α-synchronizer):
     same outputs and round count as {!run} — the paper's remark that the
     synchronous LOCAL process survives asynchrony via time-stamps.

@@ -291,6 +291,49 @@ let digest g =
   in
   Digest.to_hex (Digest.string payload)
 
+module Csr = struct
+  (* Compressed sparse row: cell [row.(v) + p] holds port [p] of vertex
+     [v].  Three flat int arrays instead of an array of (int * int)
+     array rows — the hot engine loops touch contiguous unboxed memory
+     and never allocate. *)
+  type nonrec t = {
+    graph : t;
+    row : int array; (* length n + 1; row.(v) = first cell of v *)
+    nbr : int array; (* cell -> far-end vertex *)
+    far : int array; (* cell -> arrival port at the far end *)
+  }
+
+  let of_graph g =
+    let n = order g in
+    let row = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      row.(v + 1) <- row.(v) + Array.length g.adj.(v)
+    done;
+    let cells = row.(n) in
+    let nbr = Array.make cells 0 and far = Array.make cells 0 in
+    for v = 0 to n - 1 do
+      let base = row.(v) in
+      Array.iteri
+        (fun p (u, q) ->
+          nbr.(base + p) <- u;
+          far.(base + p) <- q)
+        g.adj.(v)
+    done;
+    { graph = g; row; nbr; far }
+
+  let graph t = t.graph
+
+  let order t = Array.length t.row - 1
+
+  let degree t v = Array.unsafe_get t.row (v + 1) - Array.unsafe_get t.row v
+
+  let neighbor_vertex t v p =
+    Array.unsafe_get t.nbr (Array.unsafe_get t.row v + p)
+
+  let neighbor_port t v p =
+    Array.unsafe_get t.far (Array.unsafe_get t.row v + p)
+end
+
 let to_dot ?(highlight = []) ?(name = "G") g =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);

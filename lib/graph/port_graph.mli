@@ -118,6 +118,39 @@ val decode : Shades_bits.Bitstring.t -> t
     @raise Invalid_argument if [g] is disconnected. *)
 val digest : t -> string
 
+(** Flat compressed-sparse-row adjacency for hot paths.
+
+    The simulation engines walk every port of every vertex every round;
+    the nested [(vertex * port) array array] representation costs a
+    pointer chase and a tuple load per step.  [Csr] packs the same
+    adjacency into three flat [int array]s (row offsets, far vertices,
+    arrival ports), so the inner loops read contiguous unboxed memory
+    and allocate nothing.  Building it is [O(n + m)], done once per
+    run. *)
+module Csr : sig
+  type graph := t
+
+  type t
+
+  (** [of_graph g] packs [g]'s adjacency.  [g] is retained (shared, not
+      copied) and recoverable via {!graph}. *)
+  val of_graph : graph -> t
+
+  val graph : t -> graph
+
+  val order : t -> int
+
+  val degree : t -> vertex -> int
+
+  (** [neighbor_vertex t v p] / [neighbor_port t v p] are the
+      components of [neighbor (graph t) v p].  For speed these are
+      {e unchecked}: [v] must be a vertex and [p < degree t v], as the
+      engines' own loop bounds guarantee. *)
+  val neighbor_vertex : t -> vertex -> int -> vertex
+
+  val neighbor_port : t -> vertex -> int -> int
+end
+
 val pp : Format.formatter -> t -> unit
 
 (** Graphviz rendering: one undirected edge per link, with both port

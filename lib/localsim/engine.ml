@@ -14,13 +14,16 @@ exception Did_not_terminate of int
 
 let run ?max_rounds ?on_round ?tracer ?(msg_size = fun _ -> 0) g ~advice alg =
   let n = Port_graph.order g in
+  (* flat int-array adjacency: the per-round loops below touch no
+     per-vertex tuple rows *)
+  let csr = Port_graph.Csr.of_graph g in
   let max_rounds =
     match max_rounds with Some m -> m | None -> (4 * n) + 16
   in
   let emit = match tracer with Some f -> f | None -> fun _ -> () in
   let advice_bits = Shades_bits.Bitstring.length advice in
   let states =
-    Array.init n (fun v -> alg.init ~degree:(Port_graph.degree g v) ~advice)
+    Array.init n (fun v -> alg.init ~degree:(Port_graph.Csr.degree csr v) ~advice)
   in
   let outputs = Array.map alg.output states in
   (match tracer with
@@ -48,7 +51,7 @@ let run ?max_rounds ?on_round ?tracer ?(msg_size = fun _ -> 0) g ~advice alg =
     let inboxes = Array.make n [] in
     for v = 0 to n - 1 do
       if Option.is_none outputs.(v) then
-        for p = 0 to Port_graph.degree g v - 1 do
+        for p = 0 to Port_graph.Csr.degree csr v - 1 do
           match alg.send states.(v) ~port:p with
           | None -> ()
           | Some m ->
@@ -56,7 +59,8 @@ let run ?max_rounds ?on_round ?tracer ?(msg_size = fun _ -> 0) g ~advice alg =
               emit
                 (Event.Send
                    { round = !rounds; v; port = p; size = msg_size m });
-              let u, q = Port_graph.neighbor g v p in
+              let u = Port_graph.Csr.neighbor_vertex csr v p in
+              let q = Port_graph.Csr.neighbor_port csr v p in
               inboxes.(u) <- (q, m) :: inboxes.(u)
         done
     done;

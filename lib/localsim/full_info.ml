@@ -59,6 +59,24 @@ let run_adaptive ?on_round ?tracer g ~advice ~rounds_of ~decide =
   in
   (result.Engine.outputs, result.Engine.rounds)
 
+let run_adaptive_sharded ?domains ?on_round ?tracer g ~advice ~rounds_of
+    ~decide =
+  let decided = ref None in
+  (* Safe under sharding: [rounds_of] is only called from [init], which
+     Sharded_engine runs sequentially in the calling domain. *)
+  let rounds_of ~advice ~degree =
+    let r = rounds_of ~advice ~degree in
+    (match !decided with
+    | None -> decided := Some r
+    | Some r' -> assert (r = r'));
+    r
+  in
+  let result =
+    Sharded_engine.run ?domains ?on_round ?tracer ~msg_size g ~advice
+      (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
+  in
+  (result.Engine.outputs, result.Engine.rounds)
+
 let run_adaptive_async ?seed ?on_round ?tracer g ~advice ~rounds_of ~decide =
   let decided = ref None in
   let rounds_of ~advice ~degree =

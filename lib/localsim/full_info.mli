@@ -36,6 +36,24 @@ val run_adaptive :
   decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
   'o array * int
 
+(** Like {!run_adaptive} but executed through {!Sharded_engine}:
+    vertices are partitioned across [domains] worker domains (default
+    {!Sharded_engine.default_domains}).  Outputs, round count, per-round
+    telemetry, and the trace stream are identical to {!run_adaptive} for
+    every domain count — sharding is an execution strategy, not a model
+    change.  [decide] runs on worker domains and must tolerate
+    concurrent calls on distinct views (all decision procedures in this
+    repository only read immutable oracle-built tables). *)
+val run_adaptive_sharded :
+  ?domains:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
+  decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
+  'o array * int
+
 (** Like {!run_adaptive} but executed through {!Async_engine}: messages
     suffer (seeded) adversarial delays and the α-synchronizer recovers
     round structure from time-stamps.  Outputs and the reported round

@@ -1,0 +1,168 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* The queue holds input indexes; results land in a slot per index, so
+   completion order (which depends on scheduling) never leaks into the
+   output.  Workers park on [nonempty] until the coordinator has pushed
+   the jobs and flipped [closed]. *)
+let map_parallel workers f inputs =
+  let n = Array.length inputs in
+  let queue = Queue.create () in
+  let mutex = Mutex.create () in
+  let nonempty = Condition.create () in
+  let closed = ref false in
+  let results = Array.make n None in
+  let rec next_job () =
+    if not (Queue.is_empty queue) then Some (Queue.pop queue)
+    else if !closed then None
+    else begin
+      Condition.wait nonempty mutex;
+      next_job ()
+    end
+  in
+  let rec worker () =
+    Mutex.lock mutex;
+    let job = next_job () in
+    Mutex.unlock mutex;
+    match job with
+    | None -> ()
+    | Some i ->
+        let r = match f inputs.(i) with v -> Ok v | exception e -> Error e in
+        Mutex.lock mutex;
+        results.(i) <- Some r;
+        Mutex.unlock mutex;
+        worker ()
+  in
+  let team = Array.init workers (fun _ -> Domain.spawn worker) in
+  Mutex.lock mutex;
+  for i = 0 to n - 1 do
+    Queue.push i queue
+  done;
+  closed := true;
+  Condition.broadcast nonempty;
+  Mutex.unlock mutex;
+  Array.iter Domain.join team;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false (* every index was queued and joined *))
+    results
+
+let map ?domains f inputs =
+  let n = Array.length inputs in
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  (* the OCaml runtime supports at most ~128 live domains *)
+  let workers = min (min domains n) 120 in
+  if workers <= 1 then Array.map f inputs else map_parallel workers f inputs
+
+let map_list ?domains f inputs =
+  Array.to_list (map ?domains f (Array.of_list inputs))
+
+(* A persistent work crew: the same queue discipline as [map_parallel],
+   but the queue stays open until [shutdown] — the shape a long-lived
+   daemon needs, where work arrives from outside (accepted connections)
+   rather than as one batch. *)
+module Crew = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    mutable closed : bool;
+    mutable team : unit Domain.t array;
+    on_error : exn -> unit;
+  }
+
+  let worker t =
+    let rec next_task () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.closed then None
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        next_task ()
+      end
+    in
+    let rec loop () =
+      Mutex.lock t.mutex;
+      let task = next_task () in
+      Mutex.unlock t.mutex;
+      match task with
+      | None -> ()
+      | Some task ->
+          (try task () with e -> t.on_error e);
+          loop ()
+    in
+    loop ()
+
+  let create ?domains ?(on_error = fun _ -> ()) () =
+    let domains =
+      match domains with Some d -> max 1 d | None -> default_domains ()
+    in
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        closed = false;
+        team = [||];
+        on_error;
+      }
+    in
+    (* at most ~128 live domains, as in [map] *)
+    t.team <- Array.init (min domains 120) (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let size t = Array.length t.team
+
+  let submit t task =
+    Mutex.lock t.mutex;
+    let accepted = not t.closed in
+    if accepted then begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mutex;
+    if not accepted then invalid_arg "Pool.Crew.submit: crew is shut down"
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let already = t.closed in
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if not already then Array.iter Domain.join t.team
+
+  (* Fork-join barrier: every call owns its own latch, so concurrent
+     [run_all]s on one crew never interfere — each caller blocks until
+     exactly its own thunks have finished.  The latch mutex also
+     carries the memory ordering: writes a thunk made before its
+     [decr] are visible to the coordinator after the final wait, and
+     writes the coordinator made before [submit] are visible to the
+     thunks (the crew queue is mutex-guarded). *)
+  let run_all t thunks =
+    let n = Array.length thunks in
+    if n > 0 then begin
+      let mutex = Mutex.create () in
+      let all_done = Condition.create () in
+      let remaining = ref n in
+      let failures = Array.make n None in
+      Array.iteri
+        (fun i thunk ->
+          submit t (fun () ->
+              (try thunk () with e -> failures.(i) <- Some e);
+              Mutex.lock mutex;
+              decr remaining;
+              if !remaining = 0 then Condition.signal all_done;
+              Mutex.unlock mutex))
+        thunks;
+      Mutex.lock mutex;
+      while !remaining > 0 do
+        Condition.wait all_done mutex
+      done;
+      Mutex.unlock mutex;
+      (* deterministic choice among failures: the smallest index wins,
+         matching the sequential execution order of the thunks *)
+      Array.iter (function Some e -> raise e | None -> ()) failures
+    end
+end

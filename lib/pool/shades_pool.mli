@@ -1,0 +1,73 @@
+(** Domain-based worker pool with deterministic, input-ordered results.
+
+    A fixed team of OCaml 5 domains drains a work queue (guarded by a
+    [Mutex.t]/[Condition.t] pair); each job's result is written into a
+    slot chosen by the job's input position, so the output order never
+    depends on scheduling.  Two runs of [map f jobs] with any two domain
+    counts return equal arrays whenever [f] is deterministic — the
+    property the sweep determinism tests pin down. *)
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core to
+    the coordinating domain. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?domains f jobs] applies [f] to every element of [jobs] and
+    returns the results in input order.
+
+    [domains] defaults to {!default_domains}; values [<= 1] (or a
+    single-element input) run sequentially in the calling domain — no
+    domain is spawned, which doubles as the reference execution for
+    determinism checks.  At most [Array.length jobs] domains are
+    spawned.
+
+    If one or more jobs raise, the exception of the smallest failing
+    input index is re-raised after all workers have been joined (the
+    others are discarded).  [f] must be safe to call from multiple
+    domains at once. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)
+
+(** A persistent work crew: the queue discipline of {!map}, but the
+    queue stays open until {!Crew.shutdown}, so work can arrive from
+    outside (a daemon's accepted connections) rather than as one batch.
+    Results, if any, are the tasks' own business — a task is just a
+    thunk run once on some crew domain. *)
+module Crew : sig
+  type t
+
+  val create : ?domains:int -> ?on_error:(exn -> unit) -> unit -> t
+  (** Spawn a team of [domains] (default {!default_domains}, values
+      [< 1] clamped to 1) worker domains parked on an empty queue.  A
+      task that raises does not kill its worker: the exception is
+      passed to [on_error] (default: ignored) and the worker returns to
+      the queue. *)
+
+  val size : t -> int
+  (** Number of worker domains. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue one task; some idle worker picks it up.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Close the queue, let the workers drain it, and join them.
+      Blocks until every already-submitted task has finished;
+      idempotent. *)
+
+  val run_all : t -> (unit -> unit) array -> unit
+  (** [run_all crew thunks] submits every thunk and blocks until all of
+      them have finished — a fork-join barrier on the crew (the
+      per-round synchronisation point of the sharded LOCAL engine).
+      Memory ordering: writes made by a thunk before it finishes are
+      visible to the caller when [run_all] returns, and writes the
+      caller made before [run_all] are visible to every thunk.
+
+      If thunks raise, the exception of the {e smallest} thunk index is
+      re-raised after all have finished (matching the order a
+      sequential execution would have failed in); [on_error] is not
+      consulted.  Concurrent [run_all] calls on one crew are safe —
+      each caller waits for exactly its own thunks.
+      @raise Invalid_argument after {!shutdown}. *)
+end

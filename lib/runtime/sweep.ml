@@ -79,9 +79,21 @@ let elect_with ?tracer metrics ~run ~verify g =
     verified;
   }
 
-let elect ?tracer metrics scheme verify g =
+(* How the synchronous engine executes a job: sequentially, or vertex-
+   sharded across worker domains.  A strategy is invisible in results,
+   metrics and traces — it never appears in job params, labels or trace
+   metadata, so blessed baselines gate every strategy unchanged. *)
+type strategy = Sequential | Sharded of { domains : int option }
+
+let strategy_run strategy scheme ~on_round ?tracer g =
+  match strategy with
+  | Sequential -> Scheme.run ~on_round ?tracer scheme g
+  | Sharded { domains } ->
+      Scheme.run_sharded ?domains ~on_round ?tracer scheme g
+
+let elect ?(strategy = Sequential) ?tracer metrics scheme verify g =
   elect_with ?tracer metrics ~verify g ~run:(fun ~on_round ~tracer g ->
-      Scheme.run ~on_round ?tracer scheme g)
+      strategy_run strategy scheme ~on_round ?tracer g)
 
 (* The α-synchronizer variant: identical telemetry discipline, delays
    drawn from the engine's own PRNG seeded with [seed] — so the run
@@ -110,7 +122,7 @@ let uclass_cost ~delta ~k ~y =
 let jclass_order ~mu ~k ~z_eff =
   ipow 2 z_eff * ((4 * (Component.size ~mu ~k - 1)) + 1)
 
-let gclass_job point =
+let gclass_job ?strategy point =
   match (value point "delta", value point "k") with
   | Some delta, Some k when delta >= 3 && k >= 1 ->
       let point = with_default point "i" 2 in
@@ -132,12 +144,12 @@ let gclass_job point =
             exec =
               (fun ~tracer metrics ->
                 let t = Metrics.time metrics "build" (fun () -> Gclass.build p ~i) in
-                elect ?tracer metrics Select_by_view.scheme Verify.selection
-                  t.Gclass.graph);
+                elect ?strategy ?tracer metrics Select_by_view.scheme
+                  Verify.selection t.Gclass.graph);
           }
   | _ -> None
 
-let uclass_job point =
+let uclass_job ?strategy point =
   match (value point "delta", value point "k") with
   | Some delta, Some k when delta >= 4 && k >= 1 ->
       let point = with_default point "sigma" 1 in
@@ -166,15 +178,15 @@ let uclass_job point =
                     Metrics.time metrics "build" (fun () ->
                         Uclass.build p ~sigma:(Uclass.uniform_sigma p sigma))
                   in
-                  elect ?tracer metrics Uclass.pe_scheme Verify.port_election
-                    t.Uclass.graph);
+                  elect ?strategy ?tracer metrics Uclass.pe_scheme
+                    Verify.port_election t.Uclass.graph);
             })
           trees
   | _ -> None
 
 let default_max_order = 20_000
 
-let jclass_job ?(max_order = default_max_order) ~metrics point =
+let jclass_job ?strategy ?(max_order = default_max_order) ~metrics point =
   match (value point "mu", value point "k") with
   | Some mu, Some k when mu >= 3 && k >= 4 ->
       let point = with_default point "z_eff" 1 in
@@ -203,7 +215,7 @@ let jclass_job ?(max_order = default_max_order) ~metrics point =
                     Metrics.time metrics "build" (fun () ->
                         Jclass.build p ~y:(Jclass.y_zero p))
                   in
-                  elect ?tracer metrics (Jclass.cppe_scheme t)
+                  elect ?strategy ?tracer metrics (Jclass.cppe_scheme t)
                     Verify.complete_port_path_election t.Jclass.graph);
             }
       end
@@ -237,12 +249,16 @@ let gclass_async_job point =
                 Verify.selection t.Gclass.graph);
         }
 
-let gclass_jobs points = List.filter_map gclass_job points
-let gclass_async_jobs points = List.filter_map gclass_async_job points
-let uclass_jobs points = List.filter_map uclass_job points
+let gclass_jobs ?strategy points =
+  List.filter_map (gclass_job ?strategy) points
 
-let jclass_jobs ?max_order ~metrics points =
-  List.filter_map (jclass_job ?max_order ~metrics) points
+let gclass_async_jobs points = List.filter_map gclass_async_job points
+
+let uclass_jobs ?strategy points =
+  List.filter_map (uclass_job ?strategy) points
+
+let jclass_jobs ?strategy ?max_order ~metrics points =
+  List.filter_map (jclass_job ?strategy ?max_order ~metrics) points
 
 (* The smallest honest grid — shared by `sweep --tiny`, `make check`
    and the test suite, so the CI gate exercises exactly this grid. *)
@@ -266,10 +282,13 @@ let tiny_async_points =
 let tiny_jclass_points =
   cross [ axis "mu" [ 3 ]; axis "k" [ 4 ]; axis "z_eff" [ 1 ] ]
 
-let tiny_jobs () =
-  gclass_jobs tiny_points
+(* The async rider always runs sequentially: the α-synchronizer has no
+   sharded variant (its event loop is inherently serial), and the rider
+   exists to pin the seeded schedule, not to go fast. *)
+let tiny_jobs ?strategy () =
+  gclass_jobs ?strategy tiny_points
   @ gclass_async_jobs tiny_async_points
-  @ jclass_jobs ~metrics:(Metrics.create ()) tiny_jclass_points
+  @ jclass_jobs ?strategy ~metrics:(Metrics.create ()) tiny_jclass_points
 
 let record_of_job ?tracer job =
   let metrics = Metrics.create () in

@@ -52,13 +52,30 @@ type job = {
           {!run} passes [None], {!run_traced} a recorder *)
 }
 
-val gclass_job : point -> job option
+type strategy =
+  | Sequential  (** {!Shades_election.Scheme.run} — one domain *)
+  | Sharded of { domains : int option }
+      (** {!Shades_election.Scheme.run_sharded} — the vertex-sharded
+          parallel engine on [domains] worker domains ([None] =
+          {!Shades_localsim.Sharded_engine.default_domains}) *)
+(** How the synchronous engine executes a job.  A strategy is an
+    execution detail, not a model change: it is invisible in results,
+    metrics, job params, labels, and trace metadata (the trace [engine]
+    stays [Sync]), so records and blessed baselines are identical
+    across strategies and domain counts.  Contrast with the
+    ["g-async"] family, which is a {e semantic} variant (different
+    event stream) and therefore a separate family with its own
+    baselines.  The [*_jobs] builders below default to [Sequential];
+    the async rider always runs sequentially (the α-synchronizer's
+    event loop is inherently serial). *)
+
+val gclass_job : ?strategy:strategy -> point -> job option
 (** Selection (Theorem 2.2 scheme) on [G_i] of [G_{∆,k}].  Point keys:
     [delta] (≥ 3), [k] (≥ 1), optional [i] (default 2 — the smallest
     index with all lemma guarantees).  [None] if the point is outside
     the class (e.g. [i] exceeds the class size). *)
 
-val uclass_job : point -> job option
+val uclass_job : ?strategy:strategy -> point -> job option
 (** Port Election (Lemma 3.9 scheme) on [G_σ] of [U_{∆,k}] with
     uniform σ.  Point keys: [delta] (≥ 4), [k] (≥ 1), optional [sigma]
     (default 1, must be in [1..∆−1]).  [None] outside the class, and
@@ -69,7 +86,9 @@ val default_max_order : int
 (** Node budget for {!jclass_job} when [max_order] is omitted
     (20 000 — J(3,4) fits up to [z_eff = 4]). *)
 
-val jclass_job : ?max_order:int -> metrics:Metrics.t -> point -> job option
+val jclass_job :
+  ?strategy:strategy -> ?max_order:int -> metrics:Metrics.t -> point ->
+  job option
 (** Complete Port-Position Election (Lemma 4.8 scheme) on the scaled
     template [J_{Y=0}] of [J_{µ,k}].  Point keys: [mu] (≥ 3), [k]
     (≥ 4), optional [z_eff] (default 1, must be in [1..z(µ,k)]).
@@ -90,14 +109,15 @@ val gclass_async_job : point -> job option
     schedule itself — delay draws, [Sync_marker]s and message
     interleaving as a function of [(point, seed)]. *)
 
-val gclass_jobs : point list -> job list
+val gclass_jobs : ?strategy:strategy -> point list -> job list
 val gclass_async_jobs : point list -> job list
-val uclass_jobs : point list -> job list
+val uclass_jobs : ?strategy:strategy -> point list -> job list
 (** Valid jobs for every point of a grid, in grid order (invalid
     points are dropped). *)
 
 val jclass_jobs :
-  ?max_order:int -> metrics:Metrics.t -> point list -> job list
+  ?strategy:strategy -> ?max_order:int -> metrics:Metrics.t -> point list ->
+  job list
 (** {!jclass_job} over a grid; over-budget skips are tallied in
     [metrics] as for {!jclass_job}. *)
 
@@ -116,10 +136,11 @@ val tiny_jclass_points : point list
     (μ = 3, k = 4) at [z_eff = 1] (402 nodes), so the gates pin all
     four shades rather than Selection alone. *)
 
-val tiny_jobs : unit -> job list
+val tiny_jobs : ?strategy:strategy -> unit -> job list
 (** The G-class grid, the async rider, and the J-class rider, in that
     order — exactly what [sweep --tiny], [make check] and the committed
-    [BENCH_tiny/] baseline run. *)
+    [BENCH_tiny/] baseline run.  [strategy] applies to the synchronous
+    jobs; the async rider always runs sequentially. *)
 
 val run : ?domains:int -> job list -> Store.record list
 (** Execute the jobs on a {!Pool} ([domains] as in {!Pool.map}) and

@@ -225,9 +225,21 @@ let advise t req =
 let elect t req =
   let g = graph_exn req in
   let task = task_exn req in
+  (* "sharded" is the synchronous engine executed vertex-sharded across
+     worker domains — same results, telemetry and traces, so it shares
+     the sync path (cached advice included) and only the executor
+     differs.  "async" is a semantic variant with its own path. *)
   let engine =
     match Json.member "engine" req with
-    | None | Some (Json.String "sync") -> Trace.Sync
+    | None | Some (Json.String "sync") -> `Sync
+    | Some (Json.String "sharded") ->
+        let domains =
+          match Json.member "domains" req with
+          | Some (Json.Int d) when d >= 1 -> Some d
+          | None -> None
+          | Some _ -> failwith "\"domains\" must be a positive integer"
+        in
+        `Sharded domains
     | Some (Json.String "async") ->
         let seed =
           match Json.member "seed" req with
@@ -235,24 +247,37 @@ let elect t req =
           | None -> 0
           | Some _ -> failwith "\"seed\" must be an integer"
         in
-        Trace.Async { seed }
-    | Some _ -> failwith "\"engine\" must be \"sync\" or \"async\""
+        `Async seed
+    | Some _ ->
+        failwith "\"engine\" must be \"sync\", \"sharded\" or \"async\""
+  in
+  let engine_name =
+    match engine with
+    | `Sync -> "sync"
+    | `Sharded _ -> "sharded"
+    | `Async seed -> Trace.engine_to_string (Trace.Async { seed })
   in
   let (Impl { scheme; verify; payload_to_json; _ }) = impl_of_task task in
   let messages = ref 0 in
   let on_round ~round:_ ~messages:m = messages := m in
   let digest, run, cached =
     match engine with
-    | Trace.Sync ->
+    | (`Sync | `Sharded _) as engine ->
         (* the sync path reuses the cached advice end-to-end: a warm
            election never recomputes the oracle *)
         let digest, entry, cached = advise_entry t g task in
         let run =
           Metrics.time t.metrics "elect" (fun () ->
-              Scheme.run_with_advice ~on_round scheme g ~advice:entry.advice)
+              match engine with
+              | `Sync ->
+                  Scheme.run_with_advice ~on_round scheme g
+                    ~advice:entry.advice
+              | `Sharded domains ->
+                  Scheme.run_sharded_with_advice ?domains ~on_round scheme g
+                    ~advice:entry.advice)
         in
         (digest, run, cached)
-    | Trace.Async { seed } ->
+    | `Async seed ->
         (* the α-synchronizer path exercises the full scheme (oracle
            included) — it pins schedules, not advice reuse *)
         let digest = canonical_digest t g in
@@ -268,7 +293,7 @@ let elect t req =
        [
          ("digest", Json.String digest);
          ("task", Json.String (Task.kind_to_string task));
-         ("engine", Json.String (Trace.engine_to_string engine));
+         ("engine", Json.String engine_name);
          ("rounds", Json.Int run.Scheme.rounds);
          ("messages", Json.Int !messages);
          ("advice_bits", Json.Int run.Scheme.advice_bits);

@@ -8,12 +8,20 @@
 # Expects the tree to be built already (run `dune build @all` first, or
 # go through `make serve-smoke`); the binary is invoked directly so no
 # dune lock is held while the daemon runs.
+#
+# Hardened against the two classic smoke-test flakes:
+#   - readiness is probed with a real request (`client stats`), not by
+#     watching for the socket file — a bound-but-not-yet-accepting
+#     daemon, or a stale socket file from a crashed run, both fool the
+#     file check;
+#   - all scratch lives in a private mktemp dir, and the cleanup trap
+#     fires on INT/TERM/HUP as well as normal exit, so an interrupted
+#     run never leaves a daemon or a half-written store behind.
 set -eu
 
 CLI=${CLI:-./_build/default/bin/shades_cli.exe}
 SERVE_SOCKET=${SERVE_SOCKET:-/tmp/shades_serve_smoke.sock}
 SERVE_METRICS=${SERVE_METRICS:-/tmp/shades_serve_metrics.json}
-TRACE_FILE=${TRACE_FILE:-/tmp/shades_serve_smoke.shtr}
 
 fail() {
     echo "serve-smoke: FAIL: $1" >&2
@@ -22,55 +30,92 @@ fail() {
 
 [ -x "$CLI" ] || fail "$CLI not built (run: dune build @all)"
 
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/shades_serve_smoke.XXXXXX") \
+    || fail "mktemp failed"
+SERVE_PID=
+
+cleanup() {
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -f "$SERVE_SOCKET"
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+trap 'cleanup; exit 130' INT
+trap 'cleanup; exit 143' TERM HUP
+
 rm -f "$SERVE_SOCKET"
 "$CLI" serve --listen "unix:$SERVE_SOCKET" --metrics-out "$SERVE_METRICS" -q &
 SERVE_PID=$!
-trap 'kill $SERVE_PID 2>/dev/null; rm -f "$SERVE_SOCKET"' EXIT
-
-i=0
-while [ ! -S "$SERVE_SOCKET" ]; do
-    i=$((i + 1))
-    [ $i -le 100 ] || fail "daemon never bound $SERVE_SOCKET"
-    kill -0 $SERVE_PID 2>/dev/null || fail "daemon exited during startup"
-    sleep 0.1
-done
 
 client() {
     "$CLI" client --connect "unix:$SERVE_SOCKET" "$@"
 }
 
+# Readiness: the daemon is up when it answers a request, and only
+# then.  Bounded poll (~10s) with a liveness check each lap so a
+# daemon that died during startup fails fast instead of timing out.
+i=0
+until client stats > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "daemon never answered on $SERVE_SOCKET"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+
 # advise, twice: the repeat must be answered from the cache
-client advise -g gclass:3,1,2 -t pe > /tmp/serve_smoke_cold.json \
+client advise -g gclass:3,1,2 -t pe > "$WORK/cold.json" \
     || fail "cold advise"
-grep -q '"cached":false' /tmp/serve_smoke_cold.json \
+grep -q '"cached":false' "$WORK/cold.json" \
     || fail "first advise claims to be cached"
-client advise -g gclass:3,1,2 -t pe > /tmp/serve_smoke_warm.json \
+client advise -g gclass:3,1,2 -t pe > "$WORK/warm.json" \
     || fail "warm advise"
-grep -q '"cached":true' /tmp/serve_smoke_warm.json \
+grep -q '"cached":true' "$WORK/warm.json" \
     || fail "repeated advise was not served from the cache"
 
 # elect, then feed the claimed outputs back through verify
-client elect -g path:6 -t pe > /tmp/serve_smoke_elect.json || fail "elect"
-grep -q '"verified":true' /tmp/serve_smoke_elect.json || fail "elect verdict"
-outputs=$(sed 's/.*"outputs"://; s/,"graph".*//' /tmp/serve_smoke_elect.json)
+client elect -g path:6 -t pe > "$WORK/elect.json" || fail "elect"
+grep -q '"verified":true' "$WORK/elect.json" || fail "elect verdict"
+outputs=$(sed 's/.*"outputs"://; s/,"graph".*//' "$WORK/elect.json")
 client verify -g path:6 -t pe --outputs "$outputs" > /dev/null \
     || fail "verify rejected the daemon's own outputs"
 
-# verify-trace: a freshly recorded SHTR trace must replay clean
-"$CLI" trace record -g path:6 -t pe -o "$TRACE_FILE" > /dev/null \
-    || fail "trace record"
-client verify-trace --trace "$TRACE_FILE" > /dev/null || fail "verify-trace"
+# elect again through the vertex-sharded engine: same graph, same
+# task, so the advice comes from the cache and the outputs must agree
+# with the sequential run byte-for-byte
+client elect -g path:6 -t pe --engine sharded --domains 2 \
+    > "$WORK/elect_sharded.json" || fail "sharded elect"
+grep -q '"engine":"sharded"' "$WORK/elect_sharded.json" \
+    || fail "sharded elect did not echo its engine"
+grep -q '"verified":true' "$WORK/elect_sharded.json" \
+    || fail "sharded elect verdict"
+grep -q '"cached":true' "$WORK/elect_sharded.json" \
+    || fail "sharded elect did not reuse the cached advice"
+sharded_outputs=$(sed 's/.*"outputs"://; s/,"graph".*//' \
+    "$WORK/elect_sharded.json")
+[ "$outputs" = "$sharded_outputs" ] \
+    || fail "sharded elect outputs diverge from sequential"
 
-# stats: three advises above (2 + the one inside sync elect on a
-# different graph) must have run the oracle exactly twice
-client stats > /tmp/serve_smoke_stats.json || fail "stats"
-grep -q '"advise_computes":{"kind":"counter","value":2}' \
-    /tmp/serve_smoke_stats.json \
-    || fail "unexpected oracle-run count (see /tmp/serve_smoke_stats.json)"
+# verify-trace: a freshly recorded SHTR trace must replay clean
+"$CLI" trace record -g path:6 -t pe -o "$WORK/smoke.shtr" > /dev/null \
+    || fail "trace record"
+client verify-trace --trace "$WORK/smoke.shtr" > /dev/null \
+    || fail "verify-trace"
+
+# stats: of all the advises above, the oracle must have run exactly
+# twice (gclass cold + the path:6 inside the first sync elect); the
+# warm advise and the sharded elect are cache hits
+client stats > "$WORK/stats.json" || fail "stats"
+grep -q '"advise_computes":{"kind":"counter","value":2}' "$WORK/stats.json" \
+    || { cp "$WORK/stats.json" "${SERVE_METRICS%.json}.stats-on-fail.json" \
+             2>/dev/null || true; \
+         fail "unexpected oracle-run count"; }
 
 client shutdown > /dev/null || fail "shutdown"
-wait $SERVE_PID || fail "daemon exited nonzero"
-trap - EXIT
+wait "$SERVE_PID" || fail "daemon exited nonzero"
+SERVE_PID=
 [ -f "$SERVE_METRICS" ] || fail "daemon wrote no metrics snapshot"
 
 echo "serve-smoke: PASS (metrics: $SERVE_METRICS)"

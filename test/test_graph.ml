@@ -326,6 +326,25 @@ let prop_iso_reflexive =
       let g = build params in
       Iso.isomorphic g g)
 
+let prop_csr_agrees =
+  (* the flat CSR adjacency the engines run on must answer every
+     (vertex, port) query exactly like the reference representation *)
+  QCheck.Test.make ~name:"csr agrees with neighbor" ~count:200 rand_graph
+    (fun params ->
+      let g = build params in
+      let csr = Port_graph.Csr.of_graph g in
+      Port_graph.Csr.order csr = Port_graph.order g
+      && List.for_all
+           (fun v ->
+             Port_graph.Csr.degree csr v = Port_graph.degree g v
+             && List.for_all
+                  (fun p ->
+                    let u, q = Port_graph.neighbor g v p in
+                    Port_graph.Csr.neighbor_vertex csr v p = u
+                    && Port_graph.Csr.neighbor_port csr v p = q)
+                  (List.init (Port_graph.degree g v) Fun.id))
+           (Port_graph.vertices g))
+
 let () =
   Alcotest.run "shades_graph"
     [
@@ -371,5 +390,6 @@ let () =
             prop_shortest_path_length;
             prop_digest_iso_agreement;
             prop_iso_reflexive;
+            prop_csr_agrees;
           ] );
     ]

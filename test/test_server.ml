@@ -325,6 +325,54 @@ let test_service_elect_and_verify () =
     "with a reason" true
     (Json.member "reason" verdict <> None)
 
+let test_service_elect_sharded () =
+  (* "engine":"sharded" is the sync path on the parallel executor: same
+     outputs and counts as "sync", advice served from the same cache
+     entry, and the reply names the engine it ran. *)
+  let s = Service.create () in
+  let m = Service.metrics s in
+  let elect_req engine =
+    Json.Obj
+      ([
+         ("op", Json.String "elect");
+         ("graph", Json.String "path:6");
+         ("task", Json.String "pe");
+       ]
+      @
+      match engine with
+      | None -> []
+      | Some e -> [ ("engine", Json.String e); ("domains", Json.Int 3) ])
+  in
+  let sync = result_of (handle_ok s (elect_req None)) in
+  let sharded = result_of (handle_ok s (elect_req (Some "sharded"))) in
+  let field name r = Json.to_string (Option.get (Json.member name r)) in
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        (name ^ " matches sync") (field name sync) (field name sharded))
+    [ "outputs"; "rounds"; "messages"; "advice_bits"; "leader"; "digest" ];
+  Alcotest.(check bool)
+    "sharded elect verified" true
+    (Json.member "verified" sharded = Some (Json.Bool true));
+  Alcotest.(check string) "engine echoed" "\"sharded\"" (field "engine" sharded);
+  Alcotest.(check bool)
+    "advice reused from the sync run's cache entry" true
+    (Json.member "cached" sharded = Some (Json.Bool true));
+  Alcotest.(check int) "single oracle run" 1 (counter m "advise_computes");
+  (* malformed domains is a structured error, not a crash *)
+  let bad =
+    handle_ok s
+      (Json.Obj
+         [
+           ("op", Json.String "elect");
+           ("graph", Json.String "path:6");
+           ("task", Json.String "pe");
+           ("engine", Json.String "sharded");
+           ("domains", Json.String "three");
+         ])
+  in
+  Alcotest.(check bool) "bad domains rejected" true (is_error bad)
+
 let test_service_verify_trace () =
   let s = Service.create () in
   (* record a trace exactly as `shades trace record` does *)
@@ -453,6 +501,7 @@ let () =
           Alcotest.test_case "cache behaviour" `Quick test_service_cache_behaviour;
           Alcotest.test_case "eviction" `Quick test_service_eviction;
           Alcotest.test_case "elect + verify" `Quick test_service_elect_and_verify;
+          Alcotest.test_case "elect sharded" `Quick test_service_elect_sharded;
           Alcotest.test_case "verify-trace" `Quick test_service_verify_trace;
         ] );
       ( "daemon",
