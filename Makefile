@@ -29,9 +29,15 @@ BENCH_TIME_TOL ?= 3.0
 BENCH_ALLOC_TOL ?= 1.5
 BENCH_QUOTA ?= 0.5
 BENCH_RAW ?= /tmp/shades_bench_raw.json
+# Where the adversary smoke campaign writes its report (markdown +
+# JSON + sharded store).  CI overrides this to a workspace path so a
+# failing gate uploads the report JSON as an artifact.  The blessed
+# classification baseline it is gated against lives in
+# experiments/adversary-smoke.store/.
+ADV_OUT ?= /tmp/shades_adversary
 
-.PHONY: all check build test lint smoke serve-smoke sweep bless doc bench \
-	bench-engine clean
+.PHONY: all check build test lint smoke serve-smoke adversary-smoke sweep \
+	bless doc bench bench-engine clean
 
 all: check
 
@@ -61,9 +67,15 @@ lint:
 # Last comes the speed gate: the micro-benchmarks compared against
 # BENCH_micro/baseline.json with the tolerance bands above, so a
 # hot-path slowdown or allocation regression also fails check.
+# The adversary gate runs the committed corruption smoke campaign and
+# pins every mutant classification (detected / harmless / fooling) to
+# the blessed store under experiments/ — a scheme or codec change that
+# silently alters what the shades detect, or lets a mutant fool a
+# shade undetected, fails check even when the honest baselines agree.
 # Order: build → lint → tests → measurement gate → forensics gate →
-# daemon smoke → speed gate, so a source-hygiene regression fails
-# before any baseline is consulted and the slowest step runs last.
+# daemon smoke → adversary gate → speed gate, so a source-hygiene
+# regression fails before any baseline is consulted and the slowest
+# step runs last.
 check:
 	dune build @all
 	@mkdir -p $(dir $(LINT_REPORT))
@@ -78,6 +90,9 @@ check:
 	@mkdir -p $(dir $(SERVE_METRICS))
 	SERVE_SOCKET=$(SERVE_SOCKET) SERVE_METRICS=$(SERVE_METRICS) \
 	    sh scripts/serve_smoke.sh
+	@mkdir -p $(ADV_OUT)
+	dune exec bin/shades_cli.exe -- adversary campaign --smoke \
+	    --out $(ADV_OUT) --compare experiments/adversary-smoke.store
 	@mkdir -p $(dir $(BENCH_RAW))
 	dune exec bench/main.exe -- --quota $(BENCH_QUOTA) \
 	    --compare BENCH_micro/baseline.json --json $(BENCH_RAW) \
@@ -95,6 +110,14 @@ smoke:
 	@mkdir -p $(dir $(SMOKE_OUT))
 	dune exec bin/shades_cli.exe -- sweep --tiny -o $(SMOKE_OUT)
 
+# The corruption smoke campaign alone, gated against the blessed
+# classification store (exit 0 clean, 1 verdict/drift, 2 bad baseline).
+adversary-smoke:
+	dune build @all
+	@mkdir -p $(ADV_OUT)
+	dune exec bin/shades_cli.exe -- adversary campaign --smoke \
+	    --out $(ADV_OUT) --compare experiments/adversary-smoke.store
+
 # Regenerate the committed full sweep baseline (sharded).
 sweep:
 	dune exec bin/shades_cli.exe -- sweep --family both --sharded -o BENCH_sweep
@@ -109,6 +132,7 @@ sweep:
 bless: sweep
 	dune exec bin/shades_cli.exe -- sweep --tiny --sharded -o BENCH_tiny
 	dune exec bin/shades_cli.exe -- trace bless -b BENCH_tiny/traces
+	dune exec bin/shades_cli.exe -- adversary campaign --smoke --out experiments
 	dune exec bench/main.exe -- --quota $(BENCH_QUOTA) -o BENCH_micro/baseline.json
 
 # Build the odoc API reference for the public libraries (landing at

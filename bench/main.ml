@@ -10,7 +10,7 @@
 
    Beyond the classic table (dune exec bench/main.exe), the harness
    reads and writes BENCH_micro baselines: per-kernel median wall time
-   and allocation words, blessed with --out (make bless) and gated with
+   and mean allocation words, blessed with --out (make bless) and gated with
    --compare (make check / CI), with tolerance bands wide enough to
    survive machine noise — time medians travel badly across hosts, so
    the time band is generous and the nearly machine-independent
@@ -264,17 +264,62 @@ let all_tests =
       bench_fooling; bench_sim; bench_engine; bench_extensions; bench_labeled;
     ]
 
-(* --- measurement: per-kernel medians over the raw samples ---
+(* --- measurement: per-kernel figures over the raw samples ---
 
    OLS slopes are great locally but fold sampling noise into the
    estimate in ways that vary across machines; for a gate we want a
-   robust location statistic, so each kernel's figure is the median of
-   the per-run values over all raw samples. *)
+   robust location statistic, so wall time is the median of the
+   per-run values over all raw samples.
+
+   Allocation needs its own measures: bechamel's stock instances read
+   [Gc.quick_stat], whose allocation fields on the OCaml 5 runtime
+   only advance when the GC merges a stats sample — between merges the
+   counter is frozen, so a whole benchmark can read 0 words no matter
+   what it allocates, and the gate flaps with prior heap state.
+   [Gc.minor_words] and [Gc.counters] compute from the live allocation
+   pointer instead, so the custom instances below are exact.  The
+   per-run figure is total-words-over-total-runs, which also amortizes
+   the boxing overhead of the counter reads themselves. *)
+
+module Live_minor_words = struct
+  type witness = unit
+
+  let load () = ()
+  let unload () = ()
+  let make () = ()
+  let get () = Gc.minor_words ()
+  let label () = "live-minor-words"
+  let unit () = "mnw"
+end
+
+module Live_major_words = struct
+  type witness = unit
+
+  let load () = ()
+  let unload () = ()
+  let make () = ()
+
+  let get () =
+    let _minor, _promoted, major = Gc.counters () in
+    major
+
+  let label () = "live-major-words"
+  let unit () = "mjw"
+end
+
+let live_minor_ext = Measure.register (module Live_minor_words)
+let live_major_ext = Measure.register (module Live_major_words)
+
+let live_minor_instance =
+  Measure.instance (module Live_minor_words) live_minor_ext
+
+let live_major_instance =
+  Measure.instance (module Live_major_words) live_major_ext
 
 type figures = {
   time_ns : float;  (** median wall time per run *)
-  minor_words : float;  (** median minor-heap words allocated per run *)
-  major_words : float;  (** median major-heap words allocated per run *)
+  minor_words : float;  (** mean minor-heap words allocated per run *)
+  major_words : float;  (** mean major-heap words allocated per run *)
 }
 
 let median a =
@@ -286,20 +331,30 @@ let median a =
   else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
 let label_clock = Measure.label Instance.monotonic_clock
-let label_minor = Measure.label Instance.minor_allocated
-let label_major = Measure.label Instance.major_allocated
+let label_minor = Measure.label live_minor_instance
+let label_major = Measure.label live_major_instance
 
 let figures_of_benchmark (b : Benchmark.t) =
-  let per_run label =
+  let median_per_run label =
     median
       (Array.map
          (fun m -> Measurement_raw.get ~label m /. Measurement_raw.run m)
          b.Benchmark.lr)
   in
+  let mean_per_run label =
+    let words, runs =
+      Array.fold_left
+        (fun (words, runs) m ->
+          (words +. Measurement_raw.get ~label m,
+           runs +. Measurement_raw.run m))
+        (0.0, 0.0) b.Benchmark.lr
+    in
+    if runs = 0.0 then nan else words /. runs
+  in
   {
-    time_ns = per_run label_clock;
-    minor_words = per_run label_minor;
-    major_words = per_run label_major;
+    time_ns = median_per_run label_clock;
+    minor_words = mean_per_run label_minor;
+    major_words = mean_per_run label_major;
   }
 
 let contains ~needle haystack =
@@ -313,7 +368,7 @@ let contains ~needle haystack =
 
 let measure ~quota ~filter () =
   let instances =
-    Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+    [ Instance.monotonic_clock; live_minor_instance; live_major_instance ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   Test.elements all_tests

@@ -285,7 +285,7 @@ let sweep_cmd =
   let open Shades_runtime in
   let run family delta_lo delta_hi k_lo k_hi sigmas is mus zeffs max_order
       domains out sharded tiny compare_with strict trace_out engine
-      engine_domains =
+      engine_domains dry_run =
     let domains =
       match domains with Some d -> d | None -> Pool.default_domains ()
     in
@@ -346,6 +346,32 @@ let sweep_cmd =
         (if jclass_skipped = 1 then "" else "s")
         max_order;
     if jobs = [] then failwith "sweep: empty grid (all points invalid)";
+    if dry_run then begin
+      (* the resolved schedule, nothing executed: the same job list and
+         the same largest-cost-first pickup order a real run would use *)
+      let arr = Array.of_list jobs in
+      let rank = Array.make (Array.length arr) 0 in
+      List.iteri
+        (fun pos idx -> rank.(idx) <- pos + 1)
+        (Sweep.schedule_order jobs);
+      Printf.printf "dry run (%s): %d job%s, %d domain%s, nothing executed\n"
+        label (Array.length arr)
+        (if Array.length arr = 1 then "" else "s")
+        domains
+        (if domains = 1 then "" else "s");
+      Printf.printf "%-32s %-8s %-12s %10s %5s\n" "label" "family" "engine"
+        "cost" "lpt";
+      Array.iteri
+        (fun i (job : Sweep.job) ->
+          Printf.printf "%-32s %-8s %-12s %10d %5d\n" (Sweep.label_of_job job)
+            job.Sweep.family
+            (Shades_trace.Trace.engine_to_string job.Sweep.engine)
+            job.Sweep.cost rank.(i))
+        arr;
+      Printf.printf "total projected cost: %d nodes\n"
+        (Array.fold_left (fun acc (j : Sweep.job) -> acc + j.Sweep.cost) 0 arr)
+    end
+    else begin
     let t0 = Unix.gettimeofday () in
     let records =
       match trace_out with
@@ -452,6 +478,7 @@ let sweep_cmd =
                 (if strict then " [strict]" else "");
               exit 1
             end)
+    end
   in
   let family_arg =
     Arg.(
@@ -544,6 +571,15 @@ let sweep_cmd =
                 including added or removed sweep points (grid-shape \
                 changes), not just changed measurements.")
   in
+  let dry_run_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Resolve the grid and print the job list — label, family, \
+                engine, projected node cost, and the LPT pickup order a \
+                real run would use — without executing anything or \
+                writing any file.")
+  in
   let trace_out_arg =
     Arg.(
       value
@@ -562,7 +598,7 @@ let sweep_cmd =
       const run $ family_arg $ delta_lo $ delta_hi $ k_lo $ k_hi $ sigmas_arg
       $ is_arg $ mus_arg $ zeffs_arg $ max_order_arg $ domains_arg $ out_arg
       $ sharded_arg $ tiny_arg $ compare_arg $ strict_arg $ trace_out_arg
-      $ engine_flag_arg $ engine_domains_arg)
+      $ engine_flag_arg $ engine_domains_arg $ dry_run_arg)
 
 (* --- trace --- *)
 
@@ -787,6 +823,8 @@ let trace_stats_cmd =
     Printf.printf "halts:        %d\n" s.Trace.halts;
     Printf.printf "advice reads: %d\n" s.Trace.advice_reads;
     Printf.printf "sync markers: %d\n" s.Trace.sync_markers;
+    if s.Trace.crashes > 0 then
+      Printf.printf "crashes:      %d\n" s.Trace.crashes;
     match Trace.per_round_sends t with
     | [] -> ()
     | per_round ->
@@ -1224,7 +1262,8 @@ let client_cmd =
     Printf.eprintf "shades-client: %s\n" msg;
     exit 124
   in
-  let run connect op spec task engine seed domains outputs trace_file =
+  let run connect connect_timeout connect_retries op spec task engine seed
+      domains outputs trace_file =
     let graph_members () =
       match spec with
       | Some s -> [ ("graph", Json.String s); ("task", Json.String task) ]
@@ -1284,7 +1323,11 @@ let client_cmd =
             ("unknown op: " ^ other
            ^ " (expected advise, elect, verify, verify-trace, stats, shutdown)")
     in
-    match Client.with_connection connect (fun c -> Client.request c req) with
+    match
+      Client.with_connection ?timeout:connect_timeout
+        ~attempts:(1 + max 0 connect_retries) connect (fun c ->
+          Client.request c req)
+    with
     | Error e | Ok (Error e) ->
         Printf.eprintf "shades-client: %s\n" e;
         exit 2
@@ -1317,6 +1360,26 @@ let client_cmd =
           ~doc:
             "Endpoint to connect to: $(b,unix:<path>), $(b,tcp:<port>) or \
              $(b,tcp:<host>:<port>).")
+  in
+  let connect_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Bound each connection attempt to SECONDS (fractional values \
+             allowed) instead of the kernel's SYN-retry horizon — a \
+             black-holed TCP host then fails fast with a timeout error.")
+  in
+  let connect_retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "connect-retries" ] ~docv:"N"
+          ~doc:
+            "Retry a failed $(b,tcp:) connect up to N more times with \
+             exponential backoff (50ms doubling, capped at 1s) — for \
+             racing a daemon that is still binding its port.  Unix-socket \
+             connects never retry.")
   in
   let op_arg =
     Arg.(
@@ -1384,8 +1447,406 @@ let client_cmd =
           JSON reply.  Exits 0 on an ok reply, 1 on a server error or \
           invalid verdict, 2 when the endpoint is unreachable.")
     Term.(
-      const run $ connect_arg $ op_arg $ spec_arg $ task_arg $ engine_arg
-      $ seed_arg $ client_domains_arg $ outputs_arg $ trace_arg)
+      const run $ connect_arg $ connect_timeout_arg $ connect_retries_arg
+      $ op_arg $ spec_arg $ task_arg $ engine_arg $ seed_arg
+      $ client_domains_arg $ outputs_arg $ trace_arg)
+
+(* --- adversary --- *)
+
+(* Same contract family as the trace gates: 0 = the adversary lost (or
+   a gate is clean), 1 = the adversary won (a crash plan defeated the
+   scheme, a mutant fooled a shade, a campaign verdict or baseline
+   gate failed), 2 = an instance or baseline could not be used. *)
+let adversary_exits =
+  [
+    Cmdliner.Cmd.Exit.info 0
+      ~doc:"on success (scheme resilient / campaign verdict and gate clean).";
+    Cmdliner.Cmd.Exit.info 1
+      ~doc:
+        "when the adversary wins: a crash plan aborts or stalls the scheme, \
+         a corruption fools a shade, or a campaign fails its verdict or \
+         drifts from the blessed baseline.";
+    Cmdliner.Cmd.Exit.info 2
+      ~doc:"when an instance is infeasible or a baseline cannot be read.";
+    Cmdliner.Cmd.Exit.info 124 ~doc:"on command line parsing errors.";
+    Cmdliner.Cmd.Exit.info 125 ~doc:"on unexpected internal errors (bugs).";
+  ]
+
+let adversary_cmd =
+  let open Shades_adversary in
+  let shade_of_task task =
+    let wanted = String.lowercase_ascii task in
+    match
+      List.find_opt
+        (fun s ->
+          String.lowercase_ascii (Task.kind_to_string (Corrupt.task_of s))
+          = wanted)
+        Corrupt.map_shades
+    with
+    | Some s -> s
+    | None ->
+        failwith ("unknown task: " ^ task ^ " (expected s, pe, ppe, cppe)")
+  in
+  let task_arg =
+    Arg.(
+      value & opt string "s"
+      & info [ "t"; "task" ] ~docv:"TASK" ~doc:"One of s, pe, ppe, cppe.")
+  in
+  let schedule_search_cmd =
+    let run spec task seeds beam passes =
+      let g = parse_graph spec in
+      match shade_of_task task with
+      | Corrupt.Shade { scheme; _ } ->
+          let sweeps = Schedule.sweep_seeds scheme g ~seeds in
+          Printf.printf "seeded delay plans on %s (task %s):\n" spec
+            (String.uppercase_ascii task);
+          List.iter
+            (fun (seed, m) ->
+              Printf.printf "  seed %4d  makespan %8.3f\n" seed m)
+            sweeps;
+          let best_seed =
+            List.fold_left (fun acc (_, m) -> Float.max acc m) 0. sweeps
+          in
+          let r =
+            Schedule.search ~beam ~passes scheme g
+              ~init:(Schedule.uniform g 0.05)
+          in
+          Printf.printf
+            "search (beam=%d, passes=%d): makespan %.3f after %d evaluations\n"
+            beam passes r.Schedule.makespan r.Schedule.evaluations;
+          Printf.printf "adversarial gain over the best swept seed: %+.3f\n"
+            (r.Schedule.makespan -. best_seed)
+    in
+    let seeds_arg =
+      Arg.(
+        value
+        & opt (list int) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+        & info [ "seeds" ] ~docv:"S,..."
+            ~doc:"Seeds of the swept per-edge delay distribution.")
+    in
+    let beam_arg =
+      Arg.(
+        value & opt int 2
+        & info [ "beam" ] ~docv:"N" ~doc:"Beam width (1 = greedy ascent).")
+    in
+    let passes_arg =
+      Arg.(
+        value & opt int 2
+        & info [ "passes" ] ~docv:"N"
+            ~doc:
+              "Full coordinate-ascent sweeps over the directed edges \
+               (early exit when a pass stops improving).")
+    in
+    Cmd.v
+      (Cmd.info "schedule-search" ~exits:adversary_exits
+         ~doc:
+           "Sweep seeded \xce\xb1-synchronizer delay plans, then \
+            beam-search the per-edge delay space for the plan maximizing \
+            the virtual completion time (makespan).  Outputs and round \
+            counts are plan-invariant — asynchrony only surrenders \
+            completion time to the adversary — so this prints makespans, \
+            never election results.")
+      Term.(
+        const run $ graph_arg $ task_arg $ seeds_arg $ beam_arg $ passes_arg)
+  in
+  let crash_cmd =
+    let run spec task crashes max_rounds =
+      let g = parse_graph spec in
+      let faults =
+        List.map
+          (fun (victim, at_round) ->
+            { Shades_localsim.Engine.victim; at_round })
+          crashes
+      in
+      match shade_of_task task with
+      | Corrupt.Shade { scheme; _ } ->
+          let plan = Fault.normalize ~n:(Port_graph.order g) faults in
+          Printf.printf "plan: %s\n"
+            (if plan = [] then "(no faults)"
+             else
+               String.concat ", "
+                 (List.map
+                    (fun { Shades_localsim.Engine.victim; at_round } ->
+                      Printf.sprintf "%d@%d" victim at_round)
+                    plan));
+          let outcome = Fault.run ?max_rounds scheme g ~faults in
+          print_endline (Fault.describe outcome);
+          (match outcome with
+          | Fault.Survived _ -> ()
+          | Fault.Stalled _ | Fault.Aborted _ -> exit 1)
+    in
+    let crash_arg =
+      Arg.(
+        value
+        & opt_all (pair ~sep:'@' int int) []
+        & info [ "crash" ] ~docv:"V@R"
+            ~doc:
+              "Crash vertex V at the start of round R (repeatable; the \
+               earliest round wins per victim).  A node crashing at round \
+               0 never acts; one crashing at round r sends nothing from \
+               round r on.")
+    in
+    let max_rounds_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "max-rounds" ] ~docv:"N"
+            ~doc:
+              "Round budget: live nodes still undecided at N classify the \
+               run as stalled.")
+    in
+    Cmd.v
+      (Cmd.info "crash" ~exits:adversary_exits
+         ~doc:
+           "Run an election scheme under a crash-stop fault plan and \
+            classify the outcome: survived (every live node decided), \
+            stalled (round budget), or aborted (the paper's protocols \
+            are not fault-tolerant — a crashed neighbour starves a live \
+            node's view exchange).  Exits 1 unless the scheme survived.")
+      Term.(const run $ graph_arg $ task_arg $ crash_arg $ max_rounds_arg)
+  in
+  let corrupt_cmd =
+    let run spec task flips burst_len bursts truncations no_swap slack =
+      let g = parse_graph spec in
+      match shade_of_task task with
+      | shade ->
+          let prepared =
+            try Corrupt.prepare ~slack shade g
+            with Invalid_argument msg ->
+              Printf.eprintf "shades adversary corrupt: %s\n" msg;
+              exit 2
+          in
+          let bits = prepared.Corrupt.advice_bits in
+          let n = Port_graph.order g in
+          let ops =
+            Corrupt.flips ~bits ~count:flips
+            @ Corrupt.bursts ~bits ~len:burst_len ~count:bursts
+            @ Corrupt.truncations ~bits ~count:truncations
+            @
+            if no_swap then []
+            else
+              [
+                Corrupt.renumber_swap ~label:"reversal" g (Corrupt.reversal n);
+              ]
+          in
+          Printf.printf
+            "reference: leader %d in %d round%s, %d advice bits; %d mutants\n"
+            prepared.Corrupt.reference_leader prepared.Corrupt.reference_rounds
+            (plural prepared.Corrupt.reference_rounds)
+            bits (List.length ops);
+          let fooled = ref 0 in
+          List.iter
+            (fun op ->
+              let c = prepared.Corrupt.classify op in
+              let detail =
+                match c with
+                | Corrupt.Detected { reason } -> reason
+                | Corrupt.Harmless { leader; rounds } ->
+                    Printf.sprintf "leader %d in %d rounds" leader rounds
+                | Corrupt.Fooling { leader; reference; rounds } ->
+                    incr fooled;
+                    Printf.sprintf "leader %d instead of %d in %d rounds"
+                      leader reference rounds
+              in
+              Printf.printf "  %-16s %-9s %s\n" (Corrupt.op_label op)
+                (Corrupt.class_label c) detail)
+            ops;
+          if !fooled > 0 then begin
+            Printf.printf "%d fooling corruption%s — the adversary wins\n"
+              !fooled (plural !fooled);
+            exit 1
+          end
+    in
+    let flips_arg =
+      Arg.(
+        value & opt int 8
+        & info [ "flips" ] ~docv:"N" ~doc:"Evenly spaced single-bit flips.")
+    in
+    let burst_len_arg =
+      Arg.(
+        value & opt int 8
+        & info [ "burst-len" ] ~docv:"L" ~doc:"Length of each burst flip.")
+    in
+    let bursts_arg =
+      Arg.(
+        value & opt int 3
+        & info [ "bursts" ] ~docv:"N" ~doc:"Evenly spaced burst flips.")
+    in
+    let truncations_arg =
+      Arg.(
+        value & opt int 3
+        & info [ "truncations" ] ~docv:"N"
+            ~doc:"Evenly spaced truncations (including empty advice).")
+    in
+    let no_swap_arg =
+      Arg.(
+        value & flag
+        & info [ "no-swap" ]
+            ~doc:
+              "Skip the cross-instance reversal swap — the guaranteed \
+               fooling channel.")
+    in
+    let slack_arg =
+      Arg.(
+        value & opt int 2
+        & info [ "slack" ] ~docv:"N"
+            ~doc:
+              "Extra rounds granted to a mutant over the honest reference \
+               before the budget detects it.")
+    in
+    Cmd.v
+      (Cmd.info "corrupt" ~exits:adversary_exits
+         ~doc:
+           "Mutate a scheme's advice (bit flips, bursts, truncations, and \
+            a cross-instance renumber swap) and classify every mutant: \
+            detected, harmless, or fooling (valid outputs, wrong leader).  \
+            Exits 1 if any mutant fools the shade.")
+      Term.(
+        const run $ graph_arg $ task_arg $ flips_arg $ burst_len_arg
+        $ bursts_arg $ truncations_arg $ no_swap_arg $ slack_arg)
+  in
+  let campaign_cmd =
+    let run smoke wide out compare domains =
+      if smoke && wide then begin
+        Printf.eprintf "shades adversary campaign: --smoke and --wide are \
+                        mutually exclusive\n";
+        exit 124
+      end;
+      if wide && compare <> None then begin
+        Printf.eprintf "shades adversary campaign: --compare gates the \
+                        smoke campaign only\n";
+        exit 124
+      end;
+      let scenarios =
+        if wide then Campaign.wide () else [ Campaign.smoke () ]
+      in
+      let failed = ref false in
+      let unreadable = ref false in
+      List.iter
+        (fun scenario ->
+          let report = Campaign.run ?domains scenario in
+          Printf.printf "campaign %s on %s: %d classified mutants\n"
+            report.Campaign.label report.Campaign.graph_label
+            (List.length report.Campaign.cells);
+          List.iter
+            (fun (s : Campaign.shade_summary) ->
+              if not s.Campaign.feasible then
+                Printf.printf "  %-4s infeasible on this instance\n"
+                  (Task.kind_to_string s.Campaign.task)
+              else
+                Printf.printf
+                  "  %-4s ref leader %d (%d round%s, %d bits): %d detected, \
+                   %d harmless, %d fooling\n"
+                  (Task.kind_to_string s.Campaign.task)
+                  s.Campaign.reference_leader s.Campaign.reference_rounds
+                  (plural s.Campaign.reference_rounds)
+                  s.Campaign.advice_bits s.Campaign.detected
+                  s.Campaign.harmless s.Campaign.fooling)
+            report.Campaign.summaries;
+          (match out with
+          | None -> ()
+          | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let base = Filename.concat dir report.Campaign.label in
+              Out_channel.with_open_bin (base ^ ".md") (fun oc ->
+                  Out_channel.output_string oc
+                    (Campaign.markdown_of_report report));
+              Out_channel.with_open_bin (base ^ ".json") (fun oc ->
+                  Out_channel.output_string oc
+                    (Json.to_string (Campaign.json_of_report report) ^ "\n"));
+              Campaign.save ~dir:(base ^ ".store") report;
+              Printf.printf "  wrote %s.{md,json,store/}\n" base);
+          let outcome, what =
+            match compare with
+            | Some baseline_dir ->
+                (Campaign.gate ~baseline_dir report, "gate")
+            | None -> (Campaign.verdict report, "verdict")
+          in
+          match outcome with
+          | Ok () -> Printf.printf "  %s: clean\n" what
+          | Error problems ->
+              failed := true;
+              List.iter
+                (fun p ->
+                  if String.length p >= 9 && String.sub p 0 9 = "baseline:"
+                  then unreadable := true;
+                  Printf.eprintf "  %s %s: %s\n" report.Campaign.label what p)
+                problems)
+        scenarios;
+      if !unreadable then exit 2;
+      if !failed then begin
+        Printf.eprintf "adversary campaign: FAILED\n";
+        exit 1
+      end
+    in
+    let smoke_arg =
+      Arg.(
+        value & flag
+        & info [ "smoke" ]
+            ~doc:
+              "The committed CI campaign (the default): all four shades \
+               on path:4 under the default mutation grid.")
+    in
+    let wide_arg =
+      Arg.(
+        value & flag
+        & info [ "wide" ]
+            ~doc:
+              "The nightly extension: the same hypothesis over more \
+               instances and a denser mutation grid; never gated.")
+    in
+    let out_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"DIR"
+            ~doc:
+              "Write each campaign's markdown report, JSON report, and \
+               blessable sharded store under DIR (created if missing) as \
+               <label>.md, <label>.json, <label>.store/.")
+    in
+    let compare_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "compare" ] ~docv:"STOREDIR"
+            ~doc:
+              "Gate against a blessed campaign store: the verdict must \
+               pass and the classifications must match STOREDIR exactly \
+               (any drift exits 1).  Smoke campaign only.")
+    in
+    let domains_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "Worker domains for classifying mutants (default: \
+               recommended count minus one).  Results are identical at \
+               every domain count.")
+    in
+    Cmd.v
+      (Cmd.info "campaign" ~exits:adversary_exits
+         ~doc:
+           "Run a hypothesis-driven corruption campaign: honest reference \
+            runs per shade, then the whole mutation grid fanned onto the \
+            domain pool, classified, tallied, and persisted (markdown + \
+            JSON + sharded store).  The verdict demands at least one \
+            fooling corruption per feasible shade and zero undetected \
+            corruptions; $(b,--compare) additionally pins every \
+            classification to a blessed baseline.")
+      Term.(
+        const run $ smoke_arg $ wide_arg $ out_arg $ compare_arg
+        $ domains_arg)
+  in
+  Cmd.group
+    (Cmd.info "adversary" ~exits:adversary_exits
+       ~doc:
+         "Adversarial campaigns against the election schemes: slow \
+          \xce\xb1-synchronizer delay plans, crash-stop fault plans, and \
+          advice-corruption campaigns with a gated classification \
+          baseline.")
+    [ schedule_search_cmd; crash_cmd; corrupt_cmd; campaign_cmd ]
 
 let () =
   let doc =
@@ -1399,5 +1860,5 @@ let () =
             index_cmd; views_cmd; elect_cmd; dot_cmd; quotient_cmd;
             tradeoff_cmd; labelings_cmd; family_g_cmd; family_u_cmd;
             family_j_cmd; sweep_cmd; trace_cmd; lint_cmd; serve_cmd;
-            client_cmd;
+            client_cmd; adversary_cmd;
           ]))

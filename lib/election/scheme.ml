@@ -7,10 +7,10 @@ type 'o t = {
 
 type 'o run = { outputs : 'o array; rounds : int; advice_bits : int }
 
-let run_with_advice ?on_round ?tracer scheme g ~advice =
+let run_with_advice ?max_rounds ?on_round ?tracer scheme g ~advice =
   let outputs, rounds =
-    Shades_localsim.Full_info.run_adaptive ?on_round ?tracer g ~advice
-      ~rounds_of:scheme.rounds_of ~decide:scheme.decide
+    Shades_localsim.Full_info.run_adaptive ?max_rounds ?on_round ?tracer g
+      ~advice ~rounds_of:scheme.rounds_of ~decide:scheme.decide
   in
   { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }
 
@@ -35,3 +35,12 @@ let run_async ?seed ?on_round ?tracer scheme g =
       ~advice ~rounds_of:scheme.rounds_of ~decide:scheme.decide
   in
   { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice }
+
+let run_plan ~delay ?on_round ?tracer scheme g =
+  let advice = scheme.oracle g in
+  let outputs, rounds, makespan =
+    Shades_localsim.Full_info.run_adaptive_plan ~delay ?on_round ?tracer g
+      ~advice ~rounds_of:scheme.rounds_of ~decide:scheme.decide
+  in
+  ( { outputs; rounds; advice_bits = Shades_bits.Bitstring.length advice },
+    makespan )

@@ -41,8 +41,13 @@ val run :
 
 (** [run_with_advice scheme g ~advice] runs the distributed part under a
     forced advice string — the primitive for fooling experiments, where
-    the pigeonhole forces one string to serve two graphs. *)
+    the pigeonhole forces one string to serve two graphs.  [max_rounds]
+    caps the engine's round budget: corruption campaigns set it near the
+    reference round count so corrupted advice demanding an absurd view
+    depth aborts with {!Shades_localsim.Engine.Did_not_terminate}
+    instead of exchanging exponentially growing views. *)
 val run_with_advice :
+  ?max_rounds:int ->
   ?on_round:(round:int -> messages:int -> unit) ->
   ?tracer:(Shades_trace.Event.t -> unit) ->
   'o t ->
@@ -87,3 +92,16 @@ val run_async :
   'o t ->
   Shades_graph.Port_graph.t ->
   'o run
+
+(** Asynchronous execution under an {e explicit} delay plan
+    ({!Shades_localsim.Async_engine.run_plan}); additionally returns the
+    makespan — the virtual completion time the adversary's assignment
+    achieved.  Outputs and rounds are plan-invariant; the makespan is
+    what {!Shades_adversary.Schedule} maximizes. *)
+val run_plan :
+  delay:(round:int -> v:int -> port:int -> float) ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  'o t ->
+  Shades_graph.Port_graph.t ->
+  'o run * float

@@ -7,14 +7,13 @@ module Event = Shades_trace.Event
    payload carries the receiver's port so delivery needs no lookup. *)
 type 'msg wire = { round : int; payload : (int * 'msg) option }
 
-let run ?max_rounds ?(seed = 0) ?on_round ?tracer ?(msg_size = fun _ -> 0) g
-    ~advice alg =
+let run_internal ?max_rounds ~delay ?on_round ?tracer
+    ?(msg_size = fun _ -> 0) g ~advice alg =
   let n = Port_graph.order g in
   let max_rounds =
     match max_rounds with Some m -> m | None -> (4 * n) + 16
   in
   let emit = match tracer with Some f -> f | None -> fun _ -> () in
-  let rng = Random.State.make [| seed; 0x5eed |] in
   (* Delivery queue ordered by (time, sequence); the sequence number
      makes simultaneous deliveries deterministic. *)
   let module M = Map.Make (struct
@@ -25,10 +24,12 @@ let run ?max_rounds ?(seed = 0) ?on_round ?tracer ?(msg_size = fun _ -> 0) g
   let queue = ref M.empty in
   let seq = ref 0 in
   let clock = ref 0.0 in
-  let push_event dest wire_msg =
-    let delay = 0.01 +. Random.State.float rng 1.0 in
+  let push_event ~round ~v ~port dest wire_msg =
+    (* Non-positive plan delays are clamped: virtual time must advance
+       for the (time, seq) queue order to stay causal. *)
+    let d = Float.max 1e-6 (delay ~round ~v ~port) in
     incr seq;
-    queue := M.add (!clock +. delay, !seq) (dest, wire_msg) !queue
+    queue := M.add (!clock +. d, !seq) (dest, wire_msg) !queue
   in
   let messages = ref 0 in
   let states =
@@ -78,7 +79,7 @@ let run ?max_rounds ?(seed = 0) ?on_round ?tracer ?(msg_size = fun _ -> 0) g
           | None -> None
       in
       if payload = None then emit (Event.Sync_marker { round; v; port = p });
-      push_event u { round; payload }
+      push_event ~round ~v ~port:p u { round; payload }
     done
   in
   (* Telemetry: a synchronizer round counts as executed the first time
@@ -152,12 +153,27 @@ let run ?max_rounds ?(seed = 0) ?on_round ?tracer ?(msg_size = fun _ -> 0) g
   done;
   if not (all_decided ()) then
     raise (Engine.Did_not_terminate (Array.fold_left max 0 rounds));
-  {
-    Engine.outputs = Array.map Option.get outputs;
-    (* The synchronous round count is the latest first-decision round. *)
-    rounds =
-      Array.fold_left
-        (fun acc d -> max acc (Option.value ~default:0 d))
-        0 decided_round;
-    messages = !messages;
-  }
+  ( ({
+      Engine.outputs = Array.map Option.get outputs;
+      (* The synchronous round count is the latest first-decision
+         round. *)
+      rounds =
+        Array.fold_left
+          (fun acc d -> max acc (Option.value ~default:0 d))
+          0 decided_round;
+      messages = !messages;
+    } : _ Engine.result),
+    (* Makespan: the virtual time of the last delivery processed — how
+       long the adversary's delay assignment stretched the execution. *)
+    !clock )
+
+let run ?max_rounds ?(seed = 0) ?on_round ?tracer ?msg_size g ~advice alg =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  (* The draw happens once per pushed wire, in push order — exactly the
+     pre-plan behaviour, so seeded runs (and their traces) are
+     bit-identical to before the [delay] generalization. *)
+  let delay ~round:_ ~v:_ ~port:_ = 0.01 +. Random.State.float rng 1.0 in
+  fst (run_internal ?max_rounds ~delay ?on_round ?tracer ?msg_size g ~advice alg)
+
+let run_plan ?max_rounds ~delay ?on_round ?tracer ?msg_size g ~advice alg =
+  run_internal ?max_rounds ~delay ?on_round ?tracer ?msg_size g ~advice alg

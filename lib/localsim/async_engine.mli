@@ -58,3 +58,27 @@ val run :
   advice:Shades_bits.Bitstring.t ->
   ('state, 'msg, 'output) Engine.algorithm ->
   'output Engine.result
+
+(** [run_plan ~delay g ~advice alg] is {!run} with an {e explicit} delay
+    assignment instead of a seeded PRNG: each wire pushed on [port] of
+    sender [v] during synchronizer round [round] (payload or
+    end-of-round marker alike) is delayed by [delay ~round ~v ~port]
+    virtual time units (non-positive values clamp to a small epsilon).
+    This is the adversary's interface — {!Shades_adversary.Schedule}
+    searches over such plans.
+
+    Returns the result paired with the {e makespan}: the virtual time of
+    the last delivery processed.  By the α-synchronizer argument the
+    outputs and round count are invariant under the plan; the makespan
+    is what an adversarial assignment can stretch.  [run ~seed] is
+    exactly [run_plan] with the per-push PRNG draw as [delay]. *)
+val run_plan :
+  ?max_rounds:int ->
+  delay:(round:int -> v:int -> port:int -> float) ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  ?msg_size:('msg -> int) ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  ('state, 'msg, 'output) Engine.algorithm ->
+  'output Engine.result * float

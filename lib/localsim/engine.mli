@@ -35,9 +35,36 @@ type 'output result = {
           returned [Some]) — the classical message-complexity measure *)
 }
 
+type crash = { victim : int; at_round : int }
+(** One crash-stop fault: [victim] halts at the start of round
+    [at_round] — from that round on it sends nothing, its [step] is
+    never called, it never decides, and messages addressed to it are
+    discarded; peers observe only silence (they are never told).
+    [at_round <= 0] means the node is dead from initialization: it
+    never sends and its init-time decision, if any, is void —
+    equivalent, for every other node, to deleting the victim's outgoing
+    messages entirely. *)
+
+type 'output faulty = {
+  outputs : 'output option array;
+      (** per-vertex decisions; [None] for crashed (or undecided at the
+          bound — impossible on normal return) nodes *)
+  rounds : int;  (** rounds executed until every live node had decided *)
+  messages : int;
+}
+(** Result of a faulty run: crashed nodes have no output, so the array
+    is option-valued — the fault-free {!result} stays total. *)
+
 exception Did_not_terminate of int
-(** Raised by {!run} when some node is still undecided after the round
-    bound. *)
+(** Raised by {!run} when some node — some {e live} node, under a fault
+    plan — is still undecided after the round bound. *)
+
+val crash_schedule : n:int -> crash list -> int array
+(** The normalized per-vertex crash round ([max_int] = never): duplicate
+    victims collapse to their earliest crash, negative rounds clamp
+    to 0.  Exposed for engine implementations and tests; {!run_with_faults}
+    applies it internally.
+    @raise Invalid_argument on a victim outside [0 .. n-1]. *)
 
 (** [run g ~advice alg] executes [alg] at every node of [g] with the
     same [advice].  Terminates at the first round where all nodes have
@@ -69,3 +96,33 @@ val run :
   advice:Shades_bits.Bitstring.t ->
   ('state, 'msg, 'output) algorithm ->
   'output result
+
+(** [run_with_faults g ~advice ~faults alg] is {!run} under a
+    crash-stop fault plan.  Semantics per {!crash}: at the start of
+    round [at_round] the victim goes permanently silent.  Termination:
+    the run ends at the first round where every {e live} node has
+    decided (crashed nodes can never decide and do not block
+    termination); {!Did_not_terminate} is raised only when live nodes
+    remain undecided at [max_rounds].
+
+    Tracing: each effective crash is recorded as [Event.Crash] — for
+    [at_round >= 1], directly after that round's [Round_start] (before
+    any [Send]), victims in vertex order; for [at_round <= 0], after
+    the [Advice_read] block and before any round-0 [Decide].  A crash
+    scheduled for a node that already decided (halted) earlier is a
+    no-op and is not recorded.  With [faults = []] the event stream,
+    outputs, rounds and messages are exactly {!run}'s.
+
+    {!Sharded_engine.run_with_faults} produces a byte-identical event
+    stream for the same plan at every domain count — the determinism
+    contract extends to faulty runs unchanged. *)
+val run_with_faults :
+  ?max_rounds:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  ?msg_size:('msg -> int) ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  faults:crash list ->
+  ('state, 'msg, 'output) algorithm ->
+  'output faulty

@@ -44,7 +44,7 @@ let algorithm ~rounds_of ~decide =
    carried view — a pure function of the message, as replay requires. *)
 let msg_size m = View_tree.node_count m.view
 
-let run_adaptive ?on_round ?tracer g ~advice ~rounds_of ~decide =
+let run_adaptive ?max_rounds ?on_round ?tracer g ~advice ~rounds_of ~decide =
   let decided = ref None in
   let rounds_of ~advice ~degree =
     let r = rounds_of ~advice ~degree in
@@ -54,7 +54,7 @@ let run_adaptive ?on_round ?tracer g ~advice ~rounds_of ~decide =
     r
   in
   let result =
-    Engine.run ?on_round ?tracer ~msg_size g ~advice
+    Engine.run ?max_rounds ?on_round ?tracer ~msg_size g ~advice
       (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
   in
   (result.Engine.outputs, result.Engine.rounds)
@@ -88,6 +88,38 @@ let run_adaptive_async ?seed ?on_round ?tracer g ~advice ~rounds_of ~decide =
   in
   let result =
     Async_engine.run ?seed ?on_round ?tracer ~msg_size g ~advice
+      (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
+  in
+  (result.Engine.outputs, result.Engine.rounds)
+
+let run_adaptive_plan ~delay ?on_round ?tracer g ~advice ~rounds_of ~decide =
+  let decided = ref None in
+  let rounds_of ~advice ~degree =
+    let r = rounds_of ~advice ~degree in
+    (match !decided with
+    | None -> decided := Some r
+    | Some r' -> assert (r = r'));
+    r
+  in
+  let result, makespan =
+    Async_engine.run_plan ~delay ?on_round ?tracer ~msg_size g ~advice
+      (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
+  in
+  (result.Engine.outputs, result.Engine.rounds, makespan)
+
+let run_adaptive_with_faults ?max_rounds ?on_round ?tracer g ~advice
+    ~rounds_of ~decide ~faults =
+  let decided = ref None in
+  let rounds_of ~advice ~degree =
+    let r = rounds_of ~advice ~degree in
+    (match !decided with
+    | None -> decided := Some r
+    | Some r' -> assert (r = r'));
+    r
+  in
+  let result =
+    Engine.run_with_faults ?max_rounds ?on_round ?tracer ~msg_size g ~advice
+      ~faults
       (algorithm ~rounds_of ~decide:(fun view -> decide ~advice view))
   in
   (result.Engine.outputs, result.Engine.rounds)

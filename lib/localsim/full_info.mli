@@ -26,8 +26,14 @@ val run :
     values coincide across nodes; this is asserted). Returns decisions
     and the common round count.  [on_round] and [tracer] are forwarded
     to {!Engine.run} — per-round telemetry and event tracing for the
-    sweep runtime; traced message sizes are view-tree node counts. *)
+    sweep runtime; traced message sizes are view-tree node counts.
+    [max_rounds] is forwarded to {!Engine.run} — corruption campaigns
+    cap it near the reference round count so a corrupted advice string
+    demanding an absurd view depth aborts cheaply with
+    {!Engine.Did_not_terminate} instead of exchanging exponentially
+    growing views. *)
 val run_adaptive :
+  ?max_rounds:int ->
   ?on_round:(round:int -> messages:int -> unit) ->
   ?tracer:(Shades_trace.Event.t -> unit) ->
   Shades_graph.Port_graph.t ->
@@ -35,6 +41,24 @@ val run_adaptive :
   rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
   decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
   'o array * int
+
+(** {!run_adaptive} under a crash-stop fault plan
+    ({!Engine.run_with_faults}); crashed nodes have [None] outputs.
+    Honest caveat: the view-exchange protocol {e assumes} a message on
+    every port each round (the paper's algorithms are not
+    fault-tolerant), so a live neighbour of a crashed node raises
+    [Assert_failure] at its first post-crash step — callers classify
+    that abort rather than hide it ({!Shades_adversary.Fault}). *)
+val run_adaptive_with_faults :
+  ?max_rounds:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
+  decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
+  faults:Engine.crash list ->
+  'o option array * int
 
 (** Like {!run_adaptive} but executed through {!Sharded_engine}:
     vertices are partitioned across [domains] worker domains (default
@@ -67,3 +91,17 @@ val run_adaptive_async :
   rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
   decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
   'o array * int
+
+(** Like {!run_adaptive_async} but with an explicit delay plan
+    ({!Async_engine.run_plan}); additionally returns the makespan —
+    the quantity {!Shades_adversary.Schedule} searches over.  Outputs
+    and round count remain plan-invariant. *)
+val run_adaptive_plan :
+  delay:(round:int -> v:int -> port:int -> float) ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  rounds_of:(advice:Shades_bits.Bitstring.t -> degree:int -> int) ->
+  decide:(advice:Shades_bits.Bitstring.t -> Shades_views.View_tree.t -> 'o) ->
+  'o array * int * float

@@ -11,13 +11,19 @@ let flush_buffer emit buf =
   List.iter emit (List.rev !buf);
   buf := []
 
-let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
-    ~advice (alg : (_, _, _) Engine.algorithm) =
+(* Shared implementation; [crash_at] is the normalized per-vertex crash
+   round ([max_int] = never, {!Engine.crash_schedule}).  It is written
+   before the crew exists and only read afterwards — worker domains see
+   a frozen schedule. *)
+let run_internal ?max_rounds ?domains ?on_round ?tracer
+    ?(msg_size = fun _ -> 0) ~crash_at g ~advice
+    (alg : (_, _, _) Engine.algorithm) =
   let n = Port_graph.order g in
   let csr = Port_graph.Csr.of_graph g in
   let max_rounds =
     match max_rounds with Some m -> m | None -> (4 * n) + 16
   in
+  let has_faults = Array.exists (fun r -> r < max_int) crash_at in
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -43,6 +49,12 @@ let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
     Array.init n (fun v -> alg.init ~degree:(Port_graph.Csr.degree csr v) ~advice)
   in
   let outputs = Array.map alg.output states in
+  (* A node crashed at round 0 never acted: its init-time decision, if
+     any, is void — same rule as the sequential engine. *)
+  if has_faults then
+    for v = 0 to n - 1 do
+      if crash_at.(v) = 0 then outputs.(v) <- None
+    done;
   (match tracer with
   | None -> ()
   | Some _ ->
@@ -50,13 +62,20 @@ let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
         emit (Event.Advice_read { v; bits = advice_bits })
       done;
       for v = 0 to n - 1 do
+        if crash_at.(v) = 0 then emit (Event.Crash { v; round = 0 })
+      done;
+      for v = 0 to n - 1 do
         if Option.is_some outputs.(v) then begin
           emit (Event.Decide { v; round = 0 });
           emit (Event.Halt { v; round = 0 })
         end
       done);
+  (* Live undecided nodes only: crashed nodes never decide and must not
+     keep the round loop running. *)
   let undecided = ref 0 in
-  Array.iter (fun o -> if Option.is_none o then incr undecided) outputs;
+  for v = 0 to n - 1 do
+    if Option.is_none outputs.(v) && crash_at.(v) > 0 then incr undecided
+  done;
   let rounds = ref 0 in
   let messages = ref 0 in
   if !undecided > 0 && max_rounds > 0 then begin
@@ -78,7 +97,7 @@ let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
       let buf = events.(s) in
       let count = ref 0 in
       for v = start.(s) to start.(s + 1) - 1 do
-        if Option.is_none outputs.(v) then
+        if Option.is_none outputs.(v) && crash_at.(v) > round then
           for p = 0 to Port_graph.Csr.degree csr v - 1 do
             match alg.send states.(v) ~port:p with
             | None -> ()
@@ -105,7 +124,7 @@ let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
         cell := []
       done;
       for v = start.(s) to start.(s + 1) - 1 do
-        if Option.is_none outputs.(v) then begin
+        if Option.is_none outputs.(v) && crash_at.(v) > round then begin
           let inbox =
             List.sort (fun (p, _) (q, _) -> Int.compare p q) inboxes.(v)
           in
@@ -126,7 +145,8 @@ let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
             end
           end
         end;
-        (* messages addressed to a decided (halted) node are discarded *)
+        (* messages addressed to a decided (halted) or crashed node are
+           discarded *)
         inboxes.(v) <- []
       done;
       decided.(s) <- !count
@@ -139,6 +159,16 @@ let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
           incr rounds;
           let round = !rounds in
           emit (Event.Round_start { round });
+          (* Crashes taking effect this round, applied by the
+             coordinator before the send barrier: same event position
+             and vertex order as the sequential engine. *)
+          if has_faults then
+            for v = 0 to n - 1 do
+              if crash_at.(v) = round && Option.is_none outputs.(v) then begin
+                emit (Event.Crash { v; round });
+                decr undecided
+              end
+            done;
           Crew.run_all crew
             (Array.init shards (fun s -> send_phase ~round s));
           for s = 0 to shards - 1 do
@@ -157,8 +187,22 @@ let run ?max_rounds ?domains ?on_round ?tracer ?(msg_size = fun _ -> 0) g
         done)
   end;
   if !undecided > 0 then raise (Engine.Did_not_terminate !rounds);
-  {
-    Engine.outputs = Array.map Option.get outputs;
-    rounds = !rounds;
-    messages = !messages;
-  }
+  (outputs, !rounds, !messages)
+
+let run ?max_rounds ?domains ?on_round ?tracer ?msg_size g ~advice alg =
+  let crash_at = Array.make (Port_graph.order g) max_int in
+  let outputs, rounds, messages =
+    run_internal ?max_rounds ?domains ?on_round ?tracer ?msg_size ~crash_at g
+      ~advice alg
+  in
+  ({ Engine.outputs = Array.map Option.get outputs; rounds; messages }
+    : _ Engine.result)
+
+let run_with_faults ?max_rounds ?domains ?on_round ?tracer ?msg_size g ~advice
+    ~faults alg =
+  let crash_at = Engine.crash_schedule ~n:(Port_graph.order g) faults in
+  let outputs, rounds, messages =
+    run_internal ?max_rounds ?domains ?on_round ?tracer ?msg_size ~crash_at g
+      ~advice alg
+  in
+  ({ Engine.outputs; rounds; messages } : _ Engine.faulty)

@@ -45,3 +45,22 @@ val run :
   advice:Shades_bits.Bitstring.t ->
   ('state, 'msg, 'output) Engine.algorithm ->
   'output Engine.result
+
+(** [run_with_faults ?domains g ~advice ~faults alg] — same crash-stop
+    semantics, tracing positions, and termination rule as
+    {!Engine.run_with_faults}, executed sharded.  Crash events are
+    emitted by the coordinator (directly after [Round_start], before
+    the send barrier; round-0 crashes in the init block), so the event
+    stream is byte-identical to the sequential engine's at every domain
+    count — the exactness contract extends to faulty runs unchanged. *)
+val run_with_faults :
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?on_round:(round:int -> messages:int -> unit) ->
+  ?tracer:(Shades_trace.Event.t -> unit) ->
+  ?msg_size:('msg -> int) ->
+  Shades_graph.Port_graph.t ->
+  advice:Shades_bits.Bitstring.t ->
+  faults:Engine.crash list ->
+  ('state, 'msg, 'output) Engine.algorithm ->
+  'output Engine.faulty

@@ -314,7 +314,7 @@ let record_of_job ?tracer job =
    never the straggler picked up last, then put the results back in
    job-list order — determinism is untouched because Pool.map is
    input-order-stable and the permutation depends only on the costs. *)
-let run_ordered ?domains f jobs =
+let schedule_order jobs =
   let jobs = Array.of_list jobs in
   let order = Array.init (Array.length jobs) Fun.id in
   Array.sort
@@ -323,6 +323,11 @@ let run_ordered ?domains f jobs =
       | 0 -> Int.compare a b
       | c -> c)
     order;
+  Array.to_list order
+
+let run_ordered ?domains f jobs =
+  let order = Array.of_list (schedule_order jobs) in
+  let jobs = Array.of_list jobs in
   let results = Pool.map ?domains (fun i -> (i, f jobs.(i))) order in
   let out = Array.make (Array.length jobs) None in
   Array.iter (fun (i, r) -> out.(i) <- Some r) results;

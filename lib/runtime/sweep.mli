@@ -142,6 +142,12 @@ val tiny_jobs : ?strategy:strategy -> unit -> job list
     [BENCH_tiny/] baseline run.  [strategy] applies to the synchronous
     jobs; the async rider always runs sequentially. *)
 
+val schedule_order : job list -> int list
+(** The pickup order {!run} hands jobs to the pool: indexes into the
+    job list, largest projected [cost] first, ties by list position
+    (the longest-processing-time heuristic).  Exposed so [sweep
+    --dry-run] can print exactly the schedule a real run would use. *)
+
 val run : ?domains:int -> job list -> Store.record list
 (** Execute the jobs on a {!Pool} ([domains] as in {!Pool.map}) and
     return one record per job, in job-list order.  Jobs are handed to

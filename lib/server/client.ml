@@ -2,36 +2,80 @@ module Json = Shades_json.Json
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect endpoint =
-  let addr, domain =
-    match endpoint with
-    | Protocol.Unix_path path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
-    | Protocol.Tcp { host; port } ->
-        let a =
-          try Unix.inet_addr_of_string host
-          with Failure _ -> (
-            match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
-            | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
-            | _ -> failwith ("cannot resolve host " ^ host))
-        in
-        (Unix.ADDR_INET (a, port), Unix.PF_INET)
-  in
+let resolve endpoint =
+  match endpoint with
+  | Protocol.Unix_path path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+  | Protocol.Tcp { host; port } ->
+      let a =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> failwith ("cannot resolve host " ^ host))
+      in
+      (Unix.ADDR_INET (a, port), Unix.PF_INET)
+
+(* A plain [Unix.connect] can hang for the kernel's SYN-retry horizon
+   (minutes) on a black-holed host.  With a deadline we connect in
+   non-blocking mode, wait for writability at most [timeout] seconds,
+   and read the socket-level error to learn the outcome. *)
+let connect_fd ?timeout addr domain =
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   match
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    match Unix.connect fd addr with
-    | () -> fd
-    | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        raise e
+    match timeout with
+    | None -> Unix.connect fd addr
+    | Some timeout -> (
+        Unix.set_nonblock fd;
+        match Unix.connect fd addr with
+        | () -> Unix.clear_nonblock fd
+        | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+          -> (
+            match Unix.select [] [ fd ] [] timeout with
+            | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+            | _, _ :: _, _ -> (
+                match Unix.getsockopt_error fd with
+                | None -> Unix.clear_nonblock fd
+                | Some e -> raise (Unix.Unix_error (e, "connect", "")))))
   with
-  | fd ->
-      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
-  | exception Unix.Unix_error (e, _, _) ->
-      Error
-        (Printf.sprintf "cannot connect to %s: %s"
-           (Protocol.endpoint_to_string endpoint)
-           (Unix.error_message e))
-  | exception Failure msg -> Error msg
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let connect ?timeout ?(attempts = 1) ?(backoff = 0.05) endpoint =
+  let attempts = max 1 attempts in
+  let try_once () =
+    match
+      let addr, domain = resolve endpoint in
+      connect_fd ?timeout addr domain
+    with
+    | fd ->
+        Ok
+          {
+            fd;
+            ic = Unix.in_channel_of_descr fd;
+            oc = Unix.out_channel_of_descr fd;
+          }
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect to %s: %s"
+             (Protocol.endpoint_to_string endpoint)
+             (Unix.error_message e))
+    | exception Failure msg -> Error msg
+  in
+  (* bounded retry with exponential backoff — only for tcp endpoints,
+     where a refused or timed-out connect is routinely transient (the
+     daemon still binding its port); a unix-socket failure is not *)
+  let retryable = match endpoint with Protocol.Tcp _ -> true | _ -> false in
+  let rec go attempt delay =
+    match try_once () with
+    | Ok _ as ok -> ok
+    | Error _ as err when (not retryable) || attempt >= attempts -> err
+    | Error _ ->
+        Unix.sleepf delay;
+        go (attempt + 1) (Float.min 1.0 (delay *. 2.))
+  in
+  go 1 (Float.max 0.001 backoff)
 
 let request ?max_frame t payload =
   match
@@ -47,7 +91,7 @@ let request ?max_frame t payload =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_connection endpoint f =
-  match connect endpoint with
+let with_connection ?timeout ?attempts ?backoff endpoint f =
+  match connect ?timeout ?attempts ?backoff endpoint with
   | Error _ as e -> e
   | Ok t -> Ok (Fun.protect ~finally:(fun () -> close t) (fun () -> f t))

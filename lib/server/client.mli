@@ -12,7 +12,21 @@
 type t
 (** One open connection. *)
 
-val connect : Protocol.endpoint -> (t, string) result
+val connect :
+  ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:float ->
+  Protocol.endpoint ->
+  (t, string) result
+(** [timeout] (seconds) bounds each connection attempt: the socket is
+    connected in non-blocking mode and abandoned with [ETIMEDOUT] if
+    not writable within the deadline — without it a black-holed TCP
+    host can stall for the kernel's SYN-retry horizon.  [attempts]
+    (default 1) bounds retries on [tcp:] endpoints only, where a
+    refused connect is routinely transient (a daemon still binding);
+    failed attempts back off exponentially from [backoff] seconds
+    (default 0.05, doubling, capped at 1s).  Unix-socket failures
+    never retry. *)
 
 val request :
   ?max_frame:int -> t -> Shades_json.Json.t -> (Shades_json.Json.t, string) result
@@ -25,6 +39,12 @@ val close : t -> unit
 (** Idempotent; safe after a transport error. *)
 
 val with_connection :
-  Protocol.endpoint -> (t -> 'a) -> ('a, string) result
-(** Connect, run, always close.  [Error] only for connection failure;
-    exceptions from the callback propagate (after closing). *)
+  ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:float ->
+  Protocol.endpoint ->
+  (t -> 'a) ->
+  ('a, string) result
+(** Connect (with {!connect}'s timeout/retry policy), run, always
+    close.  [Error] only for connection failure; exceptions from the
+    callback propagate (after closing). *)

@@ -2,7 +2,10 @@ module Bitstring = Shades_bits.Bitstring
 module W = Shades_bits.Writer
 module R = Shades_bits.Reader
 
-let format_version = 1
+(* Version 2 added the [Crash] event (tag 7) for adversarial fault
+   plans; version bumps require re-blessing the committed trace
+   baselines (`trace bless -b BENCH_tiny/traces`). *)
+let format_version = 2
 let magic = "SHTR"
 let header_bytes = String.length magic + 1 + 8 (* magic, version, bit length *)
 
@@ -28,7 +31,10 @@ let write_event w e =
   | Event.Sync_marker { round; v; port } ->
       W.gamma body round;
       W.gamma body v;
-      W.gamma body port);
+      W.gamma body port
+  | Event.Crash { v; round } ->
+      W.gamma body v;
+      W.gamma body round);
   (* length-prefixed so a reader can resynchronize / skip *)
   W.gamma w (W.length body);
   W.bits w (W.contents body)
@@ -61,6 +67,10 @@ let read_event r =
         let v = R.gamma r in
         let port = R.gamma r in
         Event.Sync_marker { round; v; port }
+    | 7 ->
+        let v = R.gamma r in
+        let round = R.gamma r in
+        Event.Crash { v; round }
     | t -> failwith (Printf.sprintf "unknown event tag %d" t)
   in
   if before - R.remaining r <> body_len then

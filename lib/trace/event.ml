@@ -6,6 +6,7 @@ type t =
   | Halt of { v : int; round : int }
   | Advice_read of { v : int; bits : int }
   | Sync_marker of { round : int; v : int; port : int }
+  | Crash of { v : int; round : int }
 
 let round = function
   | Round_start { round }
@@ -13,7 +14,8 @@ let round = function
   | Deliver { round; _ }
   | Decide { round; _ }
   | Halt { round; _ }
-  | Sync_marker { round; _ } ->
+  | Sync_marker { round; _ }
+  | Crash { round; _ } ->
       round
   | Advice_read _ -> 0
 
@@ -24,7 +26,8 @@ let vertex = function
   | Decide { v; _ }
   | Halt { v; _ }
   | Advice_read { v; _ }
-  | Sync_marker { v; _ } ->
+  | Sync_marker { v; _ }
+  | Crash { v; _ } ->
       v
 
 let is_sync_marker = function Sync_marker _ -> true | _ -> false
@@ -37,10 +40,11 @@ let kind_rank = function
   | Decide _ -> 4
   | Halt _ -> 5
   | Sync_marker _ -> 6
+  | Crash _ -> 7
 
 (* The payload fields not already covered by (round, rank, vertex). *)
 let extras = function
-  | Round_start _ | Decide _ | Halt _ -> (0, 0)
+  | Round_start _ | Decide _ | Halt _ | Crash _ -> (0, 0)
   | Send { port; size; _ } | Deliver { port; size; _ } -> (port, size)
   | Advice_read { bits; _ } -> (bits, 0)
   | Sync_marker { port; _ } -> (port, 0)
@@ -62,5 +66,6 @@ let to_string = function
   | Advice_read { v; bits } -> Printf.sprintf "advice-read v%d (%d bits)" v bits
   | Sync_marker { round; v; port } ->
       Printf.sprintf "sync-marker r%d v%d p%d" round v port
+  | Crash { v; round } -> Printf.sprintf "crash r%d v%d" round v
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -30,6 +30,13 @@ type t =
       (** node [v] received the advice string at initialization *)
   | Sync_marker of { round : int; v : int; port : int }
       (** α-synchronizer end-of-round marker (async engine only) *)
+  | Crash of { v : int; round : int }
+      (** node [v] crash-stopped at the start of round [round] (an
+          adversarial fault plan, {!Shades_localsim.Engine.crash}): from
+          this round on it sends nothing, never steps, and never
+          decides; peers observe only silence.  [round = 0] means the
+          node was crashed from initialization and never acted at
+          all. *)
 
 val round : t -> int
 (** The round an event belongs to ([Advice_read] is round 0). *)
@@ -44,7 +51,7 @@ val is_sync_marker : t -> bool
 val kind_rank : t -> int
 (** Total order on constructors used by {!compare}: [Round_start] <
     [Advice_read] < [Send] < [Deliver] < [Decide] < [Halt] <
-    [Sync_marker]. *)
+    [Sync_marker] < [Crash]. *)
 
 val compare : t -> t -> int
 (** Canonical order: by round, then {!kind_rank}, then vertex, then the

@@ -68,6 +68,7 @@ type stats = {
   halts : int;
   advice_reads : int;
   sync_markers : int;
+  crashes : int;
   send_size_total : int;
   max_round : int;
 }
@@ -85,6 +86,7 @@ let stats (t : t) =
         halts = 0;
         advice_reads = 0;
         sync_markers = 0;
+        crashes = 0;
         send_size_total = 0;
         max_round = 0;
       }
@@ -106,7 +108,8 @@ let stats (t : t) =
         | Event.Decide _ -> { c with decides = c.decides + 1 }
         | Event.Halt _ -> { c with halts = c.halts + 1 }
         | Event.Advice_read _ -> { c with advice_reads = c.advice_reads + 1 }
-        | Event.Sync_marker _ -> { c with sync_markers = c.sync_markers + 1 }))
+        | Event.Sync_marker _ -> { c with sync_markers = c.sync_markers + 1 }
+        | Event.Crash _ -> { c with crashes = c.crashes + 1 }))
     t.events;
   !s
 

@@ -61,6 +61,7 @@ type stats = {
   halts : int;
   advice_reads : int;
   sync_markers : int;
+  crashes : int;  (** [Crash] events (adversarial fault plans) *)
   send_size_total : int;  (** sum of [Send] sizes *)
   max_round : int;
 }

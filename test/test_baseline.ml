@@ -230,6 +230,7 @@ let bump = function
   | Event.Advice_read { v; bits } -> Event.Advice_read { v; bits = bits + 1 }
   | Event.Sync_marker { round; v; port } ->
       Event.Sync_marker { round; v; port = port + 1 }
+  | Event.Crash { v; round } -> Event.Crash { v; round = round + 1 }
 
 let mutation_property =
   QCheck.Test.make

@@ -231,7 +231,9 @@ let prop_random_graph_equiv =
       let g = Gen.random (Random.State.make [| seed |]) n ~extra_edges:extra in
       let run engine =
         let events = ref [] in
-        let r = engine ~tracer:(fun e -> events := e :: !events) in
+        let (r : _ Engine.result) =
+          engine ~tracer:(fun e -> events := e :: !events)
+        in
         (r.Engine.outputs, r.Engine.rounds, r.Engine.messages, !events)
       in
       let seq =
