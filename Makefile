@@ -14,9 +14,11 @@ GATE_REPORT ?= /tmp/shades_gate_report.json
 # Where `shades lint` writes its JSON findings report — same CI
 # override story as the gate report.
 LINT_REPORT ?= /tmp/shades_lint_report.json
-# The serve smoke test's socket and final metrics snapshot.  CI
+# The serve smoke test's sockets and final metrics snapshots.  CI
 # overrides SERVE_METRICS to a workspace path so a failing smoke run
-# uploads the daemon's own counters as an artifact.
+# uploads the daemon's own counters as an artifact; the Prometheus
+# scrape of GET /metrics lands beside it (SERVE_PROM defaults to
+# $(SERVE_METRICS:.json=.prom) inside the script).
 SERVE_SOCKET ?= /tmp/shades_serve_smoke.sock
 SERVE_METRICS ?= /tmp/shades_serve_metrics.json
 # Speed gate (BENCH_micro): tolerance bands for the micro-benchmark
@@ -98,8 +100,12 @@ check:
 	    --compare BENCH_micro/baseline.json --json $(BENCH_RAW) \
 	    --time-tolerance $(BENCH_TIME_TOL) --alloc-tolerance $(BENCH_ALLOC_TOL)
 
-# Boot the daemon on a Unix socket, hit every endpoint once through the
-# client, and assert a repeated advise is a cache hit (no oracle rerun).
+# Boot the daemon on a Unix socket (with a persistent --cache-dir and
+# the HTTP metrics plane), hit every endpoint once through the client —
+# batch included — assert a repeated advise is a cache hit (no oracle
+# rerun), scrape /healthz and /metrics with curl, then restart the
+# daemon on the same cache directory and assert the disk tier answers
+# everything with zero recomputation.
 serve-smoke:
 	dune build @all
 	@mkdir -p $(dir $(SERVE_METRICS))

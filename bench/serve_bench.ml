@@ -1,17 +1,25 @@
-(* Cold-vs-warm load generator for the election daemon.
+(* Cold / warm / restart-warm load generator for the election daemon.
 
-   Starts a daemon in-process on a private Unix socket, then measures
-   per-request advise latency in two phases:
+   Starts a daemon in-process on a private Unix socket with a private
+   persistent cache directory, then measures per-request advise latency
+   in three phases:
 
-     cold: N distinct topologies, every request a cache miss — each
-           pays spec parsing + canonicalization + the oracle;
-     warm: N repeats of one topology, every request after the first a
-           memo hit — each pays spec parsing + one O(n+m) digest.
+     cold:         N distinct topologies, every request a cache miss —
+                   each pays spec parsing + canonicalization + the
+                   oracle (elections additionally pay the engine);
+     warm:         N repeats of one topology, every request after the
+                   first a memo hit — each pays spec parsing + one
+                   O(n+m) digest;
+     restart-warm: the daemon is shut down and a NEW daemon is started
+                   on the same cache directory; the cold phase's whole
+                   request mix is replayed and must be answered
+                   entirely from the disk tier — zero oracle runs,
+                   zero engine runs.
 
-   Prints both medians and their ratio, plus the daemon's own counters
-   (advise_computes must not move during the warm phase).  With
+   Prints the three medians and the daemon's own counters.  With
    --assert the exit code enforces the PR's acceptance bar: warm
-   median >= 10x below cold, zero warm-phase oracle runs. *)
+   median >= 10x below cold, zero warm-phase oracle runs, and zero
+   advise/elect recomputation in the restart-warm phase. *)
 
 module Json = Shades_json.Json
 module Server = Shades_server
@@ -27,7 +35,10 @@ let () =
     [
       ("--requests", Arg.Set_int requests, "requests per phase (default 40)");
       ("--order", Arg.Set_int order, "smallest benched path order (default 80)");
-      ("--assert", Arg.Set enforce, "exit 1 unless warm is >= 10x faster");
+      ( "--assert",
+        Arg.Set enforce,
+        "exit 1 unless warm is >= 10x faster and restart-warm recomputes \
+         nothing" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage
@@ -46,18 +57,20 @@ let counter stats name =
       | None -> 0)
   | _ -> 0
 
-let () =
-  let socket =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "shades-bench-%d.sock" (Unix.getpid ()))
-  in
-  let endpoint = Server.Protocol.Unix_path socket in
-  let service = Server.Service.create () in
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* one daemon generation: spawn, run [body conn], shut down, join *)
+let with_daemon ~endpoint ~cache_dir body =
+  let service = Server.Service.create ~cache_dir () in
   let daemon =
     Domain.spawn (fun () -> Server.Daemon.run ~domains:2 endpoint service)
   in
-  (* wait for the listener to come up *)
   let conn =
     let rec retry n =
       match Server.Client.connect endpoint with
@@ -70,60 +83,119 @@ let () =
     in
     retry 100
   in
-  let advise spec =
-    let req =
-      Json.Obj
-        [
-          ("op", Json.String "advise");
-          ("graph", Json.String spec);
-          ("task", Json.String "pe");
-        ]
-    in
-    let t0 = Unix.gettimeofday () in
-    (match Server.Client.request conn req with
-    | Ok (Json.Obj _ as r) when Json.member "error" r = None -> ()
-    | Ok r -> failwith ("advise failed: " ^ Json.to_string r)
-    | Error e -> failwith ("advise failed: " ^ e));
-    Unix.gettimeofday () -. t0
-  in
-  let request_stats () =
-    match Server.Client.request conn (Json.Obj [ ("op", Json.String "stats") ]) with
-    | Ok r -> (
-        match Json.member "result" r with
-        | Some s -> s
-        | None -> failwith "stats reply has no result")
-    | Error e -> failwith ("stats failed: " ^ e)
-  in
-  let n = !requests in
-  (* cold: every topology distinct (distinct orders => distinct digests) *)
-  let cold =
-    Array.init n (fun i -> advise (Printf.sprintf "path:%d" (!order + (2 * (i + 1)))))
-  in
-  let stats_after_cold = request_stats () in
-  (* warm: one topology, repeated — first request primes it *)
-  let warm_spec = Printf.sprintf "path:%d" !order in
-  ignore (advise warm_spec);
-  let warm = Array.init n (fun _ -> advise warm_spec) in
-  let stats_after_warm = request_stats () in
+  let result = body conn in
   ignore
     (Server.Client.request conn (Json.Obj [ ("op", Json.String "shutdown") ]));
   Server.Client.close conn;
   Domain.join daemon;
-  let cold_ms = 1000. *. median cold and warm_ms = 1000. *. median warm in
-  let ratio = cold_ms /. warm_ms in
-  let computes_cold = counter stats_after_cold "advise_computes" in
-  let computes_warm =
-    counter stats_after_warm "advise_computes" - computes_cold - 1
-    (* the priming request legitimately computes once *)
+  result
+
+let advise conn spec =
+  let req =
+    Json.Obj
+      [
+        ("op", Json.String "advise");
+        ("graph", Json.String spec);
+        ("task", Json.String "pe");
+      ]
   in
-  let hits = counter stats_after_warm "advice_cache_hits" in
+  let t0 = Unix.gettimeofday () in
+  (match Server.Client.request conn req with
+  | Ok (Json.Obj _ as r) when Json.member "error" r = None -> ()
+  | Ok r -> failwith ("advise failed: " ^ Json.to_string r)
+  | Error e -> failwith ("advise failed: " ^ e));
+  Unix.gettimeofday () -. t0
+
+let elect conn spec =
+  let req =
+    Json.Obj
+      [
+        ("op", Json.String "elect");
+        ("graph", Json.String spec);
+        ("task", Json.String "pe");
+        ("engine", Json.String "sync");
+      ]
+  in
+  match Server.Client.request conn req with
+  | Ok (Json.Obj _ as r) when Json.member "error" r = None -> ()
+  | Ok r -> failwith ("elect failed: " ^ Json.to_string r)
+  | Error e -> failwith ("elect failed: " ^ e)
+
+let request_stats conn =
+  match
+    Server.Client.request conn (Json.Obj [ ("op", Json.String "stats") ])
+  with
+  | Ok r -> (
+      match Json.member "result" r with
+      | Some s -> s
+      | None -> failwith "stats reply has no result")
+  | Error e -> failwith ("stats failed: " ^ e)
+
+let () =
+  let tmp = Filename.get_temp_dir_name () in
+  let socket =
+    Filename.concat tmp (Printf.sprintf "shades-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cache_dir =
+    Filename.concat tmp
+      (Printf.sprintf "shades-bench-cache-%d" (Unix.getpid ()))
+  in
+  let endpoint = Server.Protocol.Unix_path socket in
+  let n = !requests in
+  let cold_spec i = Printf.sprintf "path:%d" (!order + (2 * (i + 1))) in
+  let warm_spec = Printf.sprintf "path:%d" !order in
+  (* generation 1: cold + warm *)
+  let cold, warm, computes_cold, computes_warm, hits =
+    with_daemon ~endpoint ~cache_dir (fun conn ->
+        (* cold: every topology distinct (distinct orders => distinct
+           digests), plus one election that restart-warm must replay *)
+        let cold = Array.init n (fun i -> advise conn (cold_spec i)) in
+        elect conn warm_spec;
+        let stats_after_cold = request_stats conn in
+        (* warm: one topology, repeated — the cold-phase election on
+           [warm_spec] already computed (and cached) its advice, so
+           every warm advise must be a hit *)
+        let warm = Array.init n (fun _ -> advise conn warm_spec) in
+        let stats_after_warm = request_stats conn in
+        let computes_cold = counter stats_after_cold "advise_computes" in
+        let computes_warm =
+          counter stats_after_warm "advise_computes" - computes_cold
+        in
+        ( cold,
+          warm,
+          computes_cold,
+          computes_warm,
+          counter stats_after_warm "advice_cache_hits" ))
+  in
+  (* generation 2: a fresh daemon on the same cache directory replays
+     the cold mix; every answer must come from the disk tier *)
+  let restart, restart_advises, restart_elects, disk_hits =
+    with_daemon ~endpoint ~cache_dir (fun conn ->
+        let restart = Array.init n (fun i -> advise conn (cold_spec i)) in
+        elect conn warm_spec;
+        let stats = request_stats conn in
+        ( restart,
+          counter stats "advise_computes",
+          counter stats "elect_computes",
+          counter stats "advice_cache_disk_hits"
+          + counter stats "result_cache_disk_hits" ))
+  in
+  rm_rf cache_dir;
+  let cold_ms = 1000. *. median cold
+  and warm_ms = 1000. *. median warm
+  and restart_ms = 1000. *. median restart in
+  let ratio = cold_ms /. warm_ms in
   Printf.printf "advise over unix socket, path graphs, %d requests per phase\n"
     n;
-  Printf.printf "  cold (distinct topologies) median: %8.3f ms\n" cold_ms;
-  Printf.printf "  warm (repeated topology)   median: %8.3f ms\n" warm_ms;
-  Printf.printf "  cold/warm ratio:                   %8.1fx\n" ratio;
+  Printf.printf "  cold (distinct topologies)  median: %8.3f ms\n" cold_ms;
+  Printf.printf "  warm (repeated topology)    median: %8.3f ms\n" warm_ms;
+  Printf.printf "  restart-warm (disk tier)    median: %8.3f ms\n" restart_ms;
+  Printf.printf "  cold/warm ratio:                    %8.1fx\n" ratio;
   Printf.printf "  oracle runs: %d cold phase, %d warm phase (cache hits: %d)\n"
     computes_cold computes_warm hits;
+  Printf.printf
+    "  restart-warm: %d oracle runs, %d engine runs (disk hits: %d)\n"
+    restart_advises restart_elects disk_hits;
   if !enforce then
     if ratio < 10. then (
       Printf.printf "FAIL: warm advise is not >= 10x faster than cold\n";
@@ -132,4 +204,12 @@ let () =
       Printf.printf "FAIL: the warm phase recomputed advice %d times\n"
         computes_warm;
       exit 1)
-    else Printf.printf "PASS: warm >= 10x faster, zero warm recomputation\n"
+    else if restart_advises > 0 || restart_elects > 0 then (
+      Printf.printf
+        "FAIL: the restart-warm phase recomputed (%d advise, %d elect)\n"
+        restart_advises restart_elects;
+      exit 1)
+    else
+      Printf.printf
+        "PASS: warm >= 10x faster, zero warm recomputation, zero \
+         restart-warm recomputation\n"

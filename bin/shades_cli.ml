@@ -1170,8 +1170,9 @@ let default_endpoint = "unix:/tmp/shades.sock"
 
 let serve_cmd =
   let open Shades_server in
-  let run listen domains cache_capacity max_frame metrics_out quiet =
-    let service = Service.create ~cache_capacity () in
+  let run listen http domains cache_capacity cache_dir max_frame metrics_out
+      quiet =
+    let service = Service.create ~cache_capacity ?cache_dir () in
     let log =
       if quiet then fun _ -> ()
       else fun m -> Printf.eprintf "shades-serve: %s\n%!" m
@@ -1186,7 +1187,14 @@ let serve_cmd =
           log ("metrics written to " ^ path))
         metrics_out
     in
-    match Daemon.run ?domains ~max_frame ~log listen service with
+    (match http with
+    | Some h when h = listen ->
+        Printf.eprintf
+          "shades-serve: --http must differ from --listen (%s)\n"
+          (Protocol.endpoint_to_string listen);
+        exit 124
+    | _ -> ());
+    match Daemon.run ?domains ~max_frame ~log ?http listen service with
     | () -> write_metrics ()
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "shades-serve: cannot serve on %s: %s\n"
@@ -1218,12 +1226,36 @@ let serve_cmd =
             "Connection-handler domains (default: the machine's recommended \
              domain count).")
   in
+  let http_arg =
+    Arg.(
+      value
+      & opt (some endpoint_conv) None
+      & info [ "http" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Also serve an HTTP observability plane on ENDPOINT \
+             ($(b,unix:<path>) or $(b,tcp:...)): $(b,GET /metrics) \
+             (Prometheus text format) and $(b,GET /healthz).  Must differ \
+             from $(b,--listen).")
+  in
   let capacity_arg =
     Arg.(
       value
       & opt int Service.default_cache_capacity
       & info [ "cache-capacity" ] ~docv:"N"
-          ~doc:"Advice-cache entries before LRU eviction.")
+          ~doc:
+            "Memory-tier entries per cache (advice and results) before LRU \
+             eviction.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the advice and result caches under DIR (created if \
+             missing): one file per content address, written atomically, \
+             reloaded on restart so a daemon restarted on the same DIR \
+             answers previously seen requests with zero recomputation.")
   in
   let max_frame_arg =
     Arg.(
@@ -1249,12 +1281,14 @@ let serve_cmd =
     (Cmd.info "serve" ~exits:server_exits
        ~doc:
          "Run the election-as-a-service daemon: advise / elect / verify / \
-          verify-trace / stats over a framed JSONL protocol, with a \
-          content-addressed advice cache shared across connections.  Blocks \
-          until a client sends $(b,shutdown).")
+          verify-trace / stats / batch over a framed JSONL protocol, with \
+          content-addressed advice and result caches shared across \
+          connections (optionally persisted with $(b,--cache-dir)) and an \
+          optional HTTP metrics plane ($(b,--http)).  Blocks until a client \
+          sends $(b,shutdown).")
     Term.(
-      const run $ listen_arg $ domains_arg $ capacity_arg $ max_frame_arg
-      $ metrics_out_arg $ quiet_arg)
+      const run $ listen_arg $ http_arg $ domains_arg $ capacity_arg
+      $ cache_dir_arg $ max_frame_arg $ metrics_out_arg $ quiet_arg)
 
 let client_cmd =
   let open Shades_server in
@@ -1263,7 +1297,16 @@ let client_cmd =
     exit 124
   in
   let run connect connect_timeout connect_retries op spec task engine seed
-      domains outputs trace_file =
+      domains outputs trace_file requests =
+    (* --outputs and --requests both accept inline JSON or @FILE *)
+    let read_inline_or_file s =
+      if String.length s > 0 && s.[0] = '@' then
+        let path = String.sub s 1 (String.length s - 1) in
+        match In_channel.with_open_bin path In_channel.input_all with
+        | text -> text
+        | exception Sys_error e -> usage_failure e
+      else s
+    in
     let graph_members () =
       match spec with
       | Some s -> [ ("graph", Json.String s); ("task", Json.String task) ]
@@ -1285,11 +1328,7 @@ let client_cmd =
       | "verify" ->
           let text =
             match outputs with
-            | Some s when String.length s > 0 && s.[0] = '@' ->
-                In_channel.with_open_bin
-                  (String.sub s 1 (String.length s - 1))
-                  In_channel.input_all
-            | Some s -> s
+            | Some s -> read_inline_or_file s
             | None ->
                 usage_failure
                   "op verify needs --outputs (a JSON list, or @FILE)"
@@ -1302,6 +1341,23 @@ let client_cmd =
           Json.Obj
             ((("op", Json.String op) :: graph_members ())
             @ [ ("outputs", outputs_json) ])
+      | "batch" ->
+          let text =
+            match requests with
+            | Some s -> read_inline_or_file s
+            | None ->
+                usage_failure
+                  "op batch needs --requests (a JSON list of request \
+                   objects, or @FILE)"
+          in
+          let requests_json =
+            match Json.of_string text with
+            | Ok (Json.List _ as j) -> j
+            | Ok _ -> usage_failure "--requests must be a JSON list"
+            | Error e -> usage_failure ("--requests is not JSON: " ^ e)
+          in
+          Json.Obj
+            [ ("op", Json.String op); ("requests", requests_json) ]
       | "verify-trace" ->
           let path =
             match trace_file with
@@ -1321,7 +1377,8 @@ let client_cmd =
       | other ->
           usage_failure
             ("unknown op: " ^ other
-           ^ " (expected advise, elect, verify, verify-trace, stats, shutdown)")
+           ^ " (expected advise, elect, verify, verify-trace, stats, batch, \
+              shutdown)")
     in
     match
       Client.with_connection ?timeout:connect_timeout
@@ -1340,16 +1397,34 @@ let client_cmd =
         in
         (* a well-formed reply to verify / verify-trace carries a
            verdict; an invalid one exits 1 like a server error, so
-           scripts need no JSON parsing to gate on it *)
-        let valid =
+           scripts need no JSON parsing to gate on it.  A batch reply
+           gates on every item: one failed or invalid item fails the
+           whole command (the per-item replies are still printed). *)
+        let reply_clean reply =
+          let ok =
+            match Json.member "ok" reply with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          let valid =
+            match Json.member "result" reply with
+            | Some r -> (
+                match Json.member "valid" r with
+                | Some (Json.Bool false) -> false
+                | _ -> true)
+            | None -> true
+          in
+          ok && valid
+        in
+        let batch_clean =
           match Json.member "result" reply with
           | Some r -> (
-              match Json.member "valid" r with
-              | Some (Json.Bool false) -> false
+              match Json.member "replies" r with
+              | Some (Json.List items) -> List.for_all reply_clean items
               | _ -> true)
           | None -> true
         in
-        if not (ok && valid) then exit 1
+        if not (ok && reply_clean reply && batch_clean) then exit 1
   in
   let connect_arg =
     Arg.(
@@ -1388,7 +1463,7 @@ let client_cmd =
       & info [] ~docv:"OP"
           ~doc:
             "One of $(b,advise), $(b,elect), $(b,verify), $(b,verify-trace), \
-             $(b,stats), $(b,shutdown).")
+             $(b,stats), $(b,batch), $(b,shutdown).")
   in
   let spec_arg =
     Arg.(
@@ -1440,16 +1515,28 @@ let client_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"SHTR trace file to upload for $(b,verify-trace).")
   in
+  let requests_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "requests" ] ~docv:"JSON"
+          ~doc:
+            "Request objects for $(b,batch): a JSON list of ordinary \
+             request payloads (each with its own \"op\"), or $(b,@FILE) to \
+             read it from FILE.  The daemon answers them in one frame, in \
+             order.")
+  in
   Cmd.v
     (Cmd.info "client" ~exits:server_exits
        ~doc:
          "Send one request to a running $(b,serve) daemon and print the \
-          JSON reply.  Exits 0 on an ok reply, 1 on a server error or \
-          invalid verdict, 2 when the endpoint is unreachable.")
+          JSON reply.  Exits 0 on an ok reply, 1 on a server error, an \
+          invalid verdict, or any failed item in a $(b,batch) reply, 2 \
+          when the endpoint is unreachable.")
     Term.(
       const run $ connect_arg $ connect_timeout_arg $ connect_retries_arg
       $ op_arg $ spec_arg $ task_arg $ engine_arg $ seed_arg
-      $ client_domains_arg $ outputs_arg $ trace_arg)
+      $ client_domains_arg $ outputs_arg $ trace_arg $ requests_arg)
 
 (* --- adversary --- *)
 

@@ -4,7 +4,20 @@ module Metrics = Shades_runtime.Metrics
    doubly-linked recency list ([first] most-recent, [last]
    least-recent).  No [Hashtbl.iter]/[fold] anywhere, so no unspecified
    iteration order can escape (shadescheck's hashtbl-order rule stays
-   clean by construction). *)
+   clean by construction).
+
+   Behind the memory tier sits an optional *disk tier*: one file per
+   key under [persist.dir], written atomically (temp file in the same
+   directory, then [Unix.rename]), never evicted.  The memory LRU is a
+   recency front; the disk store is the content-addressed ground truth
+   that survives restarts.  All disk I/O happens outside the mutex —
+   only the memory structures need it. *)
+
+type 'a persist = {
+  dir : string;
+  encode : 'a -> string;
+  decode : string -> ('a, string) result;
+}
 
 type 'a node = {
   key : string;
@@ -22,12 +35,43 @@ type 'a t = {
   metrics : Metrics.t;
   name : string;
   mutable entries : int;
+  persist : 'a persist option;
+  tmp_seq : int Atomic.t;  (** uniquifies concurrent temp-file names *)
 }
 
 let counter t what = t.name ^ "_" ^ what
 
-let create ?(name = "cache") ~capacity ~metrics () =
+(* --- key -> file name ---
+
+   Injective escaping: bytes outside [A-Za-z0-9._-] (and '%' itself)
+   become "%XX".  Keys like "<hex>/pe/v1" therefore map to readable
+   file names ("<hex>%2Fpe%2Fv1") and no two keys can collide. *)
+
+let safe_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> true
+  | _ -> false
+
+let file_of_key key =
+  let buf = Buffer.create (String.length key + 8) in
+  String.iter
+    (fun c ->
+      if safe_char c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    key;
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(name = "cache") ?persist ~capacity ~metrics () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  Option.iter (fun p -> mkdir_p p.dir) persist;
+  Metrics.set_gauge metrics (name ^ "_capacity") (float_of_int capacity);
   {
     mutex = Mutex.create ();
     table = Hashtbl.create (2 * capacity);
@@ -37,9 +81,12 @@ let create ?(name = "cache") ~capacity ~metrics () =
     metrics;
     name;
     entries = 0;
+    persist;
+    tmp_seq = Atomic.make 0;
   }
 
 let capacity t = t.capacity
+let persistent t = Option.is_some t.persist
 
 (* list surgery; all callers hold [t.mutex] *)
 
@@ -63,19 +110,9 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let find t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some node ->
-          unlink t node;
-          push_front t node;
-          Metrics.incr t.metrics (counter t "hits");
-          Some node.value
-      | None ->
-          Metrics.incr t.metrics (counter t "misses");
-          None)
-
-let put t key value =
+(* memory-tier insertion; shared by [put] (which also writes through to
+   disk) and disk-hit promotion (which must not write back) *)
+let put_memory t key value =
   locked t (fun () ->
       (match Hashtbl.find_opt t.table key with
       | Some old ->
@@ -84,7 +121,8 @@ let put t key value =
           t.entries <- t.entries - 1
       | None -> ());
       (if t.entries >= t.capacity then
-         (* evict the least-recently-used entry *)
+         (* evict the least-recently-used entry — from memory only; a
+            persisted entry stays on disk and can be promoted back *)
          match t.last with
          | Some lru ->
              unlink t lru;
@@ -97,6 +135,71 @@ let put t key value =
       Hashtbl.replace t.table key node;
       t.entries <- t.entries + 1;
       Metrics.set_gauge t.metrics (counter t "entries") (float_of_int t.entries))
+
+(* --- disk tier; all I/O outside the mutex --- *)
+
+let disk_write t p key value =
+  let file = Filename.concat p.dir (file_of_key key) in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ())
+      (Atomic.fetch_and_add t.tmp_seq 1)
+  in
+  match
+    Out_channel.with_open_bin tmp (fun oc -> output_string oc (p.encode value));
+    (* write-then-rename: readers see either the old file or the new
+       one, never a torn write — even across daemons sharing the dir *)
+    Unix.rename tmp file
+  with
+  | () -> Metrics.incr t.metrics (counter t "disk_writes")
+  | exception Sys_error _ | exception Unix.Unix_error _ ->
+      (* a full or read-only disk degrades to a memory-only cache *)
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Metrics.incr t.metrics (counter t "disk_errors")
+
+let disk_find t p key =
+  let file = Filename.concat p.dir (file_of_key key) in
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error _ -> None
+  | data -> (
+      match p.decode data with
+      | Ok v ->
+          Metrics.incr t.metrics (counter t "disk_hits");
+          Some v
+      | Error _ | (exception _) ->
+          (* a corrupted or truncated file (killed writer, bit rot) is
+             a miss, never a crash; the next put overwrites it *)
+          Metrics.incr t.metrics (counter t "disk_invalid");
+          None)
+
+let find t key =
+  let from_memory =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some node ->
+            unlink t node;
+            push_front t node;
+            Metrics.incr t.metrics (counter t "hits");
+            Some node.value
+        | None -> None)
+  in
+  match (from_memory, t.persist) with
+  | (Some _ as hit), _ -> hit
+  | None, Some p -> (
+      match disk_find t p key with
+      | Some v ->
+          (* promote without writing back — the file is already there *)
+          put_memory t key v;
+          Some v
+      | None ->
+          Metrics.incr t.metrics (counter t "misses");
+          None)
+  | None, None ->
+      Metrics.incr t.metrics (counter t "misses");
+      None
+
+let put t key value =
+  put_memory t key value;
+  Option.iter (fun p -> disk_write t p key value) t.persist
 
 let find_or_compute t key ~compute =
   match find t key with

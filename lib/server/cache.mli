@@ -1,45 +1,97 @@
-(** Bounded LRU cache with telemetry — the daemon's content-addressed
-    advice store.
+(** Bounded LRU cache with telemetry and an optional disk tier — the
+    daemon's content-addressed result store.
 
-    Keys are strings (content digests); values are whatever the caller
-    computes for a key.  The cache is mutex-guarded and safe to share
-    across {!Shades_runtime.Pool} domains.  Every lookup outcome is
-    counted in the {!Shades_runtime.Metrics} registry given at creation
-    under names derived from the cache's [name]: [<name>_hits],
-    [<name>_misses], [<name>_evictions] (counters) and [<name>_entries]
-    (a gauge) — the numbers the [stats] endpoint and the serve bench
-    report. *)
+    Keys are strings (content addresses); values are whatever the
+    caller computes for a key.  The cache is mutex-guarded and safe to
+    share across {!Shades_runtime.Pool} domains.
+
+    {2 Tiers}
+
+    The memory tier is a bounded LRU: at most [capacity] entries,
+    insertion beyond that evicts the least-recently-used one.  With
+    {!persist} given, a {e disk tier} sits behind it: every {!put}
+    writes through to one file per key under [persist.dir]
+    (write-then-rename, so readers never observe a torn write), and a
+    memory miss falls back to reading — and re-promoting — the file.
+    The disk tier is never evicted and survives process restarts;
+    eviction only trims the memory front.  Because keys are content
+    addresses (a value is a pure function of its key), a directory can
+    safely be shared by successive daemon runs: whatever is found there
+    is as good as freshly computed.
+
+    Key-to-file mapping: bytes outside [A-Za-z0-9._-] are
+    percent-escaped ([%XX]), which is injective, so distinct keys can
+    never collide on one file.
+
+    {2 Telemetry}
+
+    Every outcome is counted in the {!Shades_runtime.Metrics} registry
+    given at creation, under names derived from the cache's [name]:
+    [<name>_hits] (memory hits), [<name>_misses] (missed {e both}
+    tiers — there is no separate disk-miss counter), [<name>_evictions],
+    [<name>_disk_hits], [<name>_disk_writes], [<name>_disk_invalid]
+    (unreadable or corrupt files tolerated as misses),
+    [<name>_disk_errors] (failed writes — the cache degrades to
+    memory-only), all counters; [<name>_entries] and [<name>_capacity]
+    are gauges.  These are the numbers the [stats] endpoint and
+    [GET /metrics] report. *)
+
+type 'a persist = {
+  dir : string;  (** created (with parents) if missing *)
+  encode : 'a -> string;  (** file contents for a value *)
+  decode : string -> ('a, string) result;
+      (** total inverse: corrupt input must be [Error], though a raising
+          decoder is also tolerated (treated as [Error]) *)
+}
+(** The disk-tier configuration: where files live and how values
+    serialize.  [decode (encode v)] must be [Ok v]. *)
 
 type 'a t
 
 val create :
   ?name:string ->
+  ?persist:'a persist ->
   capacity:int ->
   metrics:Shades_runtime.Metrics.t ->
   unit ->
   'a t
-(** An empty cache holding at most [capacity] entries (≥ 1; raises
-    [Invalid_argument] otherwise); beyond that, each insertion evicts
-    the least-recently-used entry.  [name] (default ["cache"])
-    prefixes the metric names. *)
+(** An empty cache holding at most [capacity] entries in memory (≥ 1;
+    raises [Invalid_argument] otherwise).  [name] (default ["cache"])
+    prefixes the metric names.  With [persist], the disk tier under
+    [persist.dir] is attached — pre-existing files there are live
+    entries (that is the restart-warm path). *)
 
 val capacity : 'a t -> int
 
+val persistent : 'a t -> bool
+(** Whether a disk tier is attached. *)
+
 val entries : 'a t -> int
-(** Current number of entries (≤ {!capacity}). *)
+(** Current number of {e memory} entries (≤ {!capacity}); the disk
+    tier is unbounded and uncounted. *)
 
 val find : 'a t -> string -> 'a option
-(** Look up a key; a hit refreshes its recency and bumps
-    [<name>_hits], a miss bumps [<name>_misses]. *)
+(** Look up a key.  A memory hit refreshes its recency and bumps
+    [<name>_hits]; a memory miss consults the disk tier (if any),
+    promoting a decodable file back into memory ([<name>_disk_hits])
+    without rewriting it; only a miss in both tiers bumps
+    [<name>_misses].  Unreadable or corrupt files are counted
+    ([<name>_disk_invalid]) and treated as misses, never raised. *)
 
 val put : 'a t -> string -> 'a -> unit
 (** Insert (or overwrite) a key at most-recent position, evicting the
-    LRU entry when full ([<name>_evictions]). *)
+    memory LRU entry when full ([<name>_evictions]), and write through
+    to the disk tier if attached: the value is encoded to a temp file
+    in the same directory and [Unix.rename]d over the final path, so a
+    concurrent reader (or a daemon killed mid-write) sees the old
+    contents or the new, never a prefix.  A failed write
+    ([<name>_disk_errors]) degrades that entry to memory-only. *)
 
 val find_or_compute : 'a t -> string -> compute:(unit -> 'a) -> 'a * bool
-(** [find_or_compute t key ~compute] is [(value, was_hit)].  On a miss,
-    [compute] runs {e outside} the cache lock (a slow compute never
-    serializes other keys' lookups), so two racing misses on the same
-    key may both compute; the computes must be deterministic functions
-    of the key, making the race harmless.  Exceptions from [compute]
-    propagate and cache nothing. *)
+(** [find_or_compute t key ~compute] is [(value, was_hit)], where
+    [was_hit] covers both tiers.  On a miss, [compute] runs {e outside}
+    the cache lock (a slow compute never serializes other keys'
+    lookups), so two racing misses on the same key may both compute;
+    the computes must be deterministic functions of the key, making the
+    race harmless.  Exceptions from [compute] propagate and cache
+    nothing. *)

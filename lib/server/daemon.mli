@@ -36,6 +36,7 @@ val run :
   ?domains:int ->
   ?max_frame:int ->
   ?log:(string -> unit) ->
+  ?http:Protocol.endpoint ->
   Protocol.endpoint ->
   Service.t ->
   unit
@@ -44,5 +45,20 @@ val run :
     the machine's recommended domain count), [max_frame] bounds request
     frames (default {!Protocol.default_max_frame}), [log] receives
     one-line operational messages (default: silence — the library never
-    writes to stdout).  On exit the listening socket is closed, a Unix
-    socket file is unlinked, and the crew is joined. *)
+    writes to stdout).
+
+    [http] opens a second listener — the observability plane — on the
+    same select loop: connections accepted there are served by
+    {!Http.handle} ([GET /metrics], [GET /healthz]) on the same
+    connection crew.  The JSONL endpoint and the HTTP endpoint must
+    differ.
+
+    [run] also installs a dedicated batch crew as the service's
+    fan-out hook ({!Service.set_parallel}), so one [batch] frame's
+    items execute concurrently.  The batch crew is separate from the
+    connection crew on purpose: a connection handler blocking in the
+    fan-out on its own crew would deadlock at low domain counts.
+
+    On exit both listening sockets are closed, Unix socket files are
+    unlinked, the fan-out hook is removed, and both crews are
+    joined. *)

@@ -1,0 +1,38 @@
+(** The HTTP observability plane: [GET /metrics] and [GET /healthz].
+
+    A deliberately minimal HTTP/1.1 responder — no dependencies, no
+    keep-alive, no routing table — just enough for a Prometheus scraper
+    or a load balancer's health probe to talk to the daemon.  Each
+    accepted connection serves exactly one request and closes
+    ([Connection: close] is always sent), which matches how probes and
+    scrapers behave and keeps the listener state-free.  The daemon
+    accepts these connections on the same select loop as the JSONL
+    socket (pass [~http] to [Daemon.run]) and serves them on the same
+    connection crew.
+
+    Routes:
+    - [GET /metrics] — the full telemetry registry in Prometheus text
+      exposition format 0.0.4 (the name/type/help table is DESIGN §13);
+    - [GET /healthz] — [200 ok] whenever the daemon answers at all;
+    - any other path is [404]; any other method is [405].
+
+    Every request is counted in the service registry ([http_requests],
+    [http_healthz], [http_not_found], [http_bad_request] counters and
+    the [http_metrics] timing — which themselves appear in the next
+    [/metrics] scrape). *)
+
+val render_metrics : Service.t -> string
+(** The Prometheus text exposition of the service's registry: one
+    [# HELP] / [# TYPE] / value triplet per series, in name-sorted
+    order.  Counters render as [shades_<name>_total]; gauges as
+    [shades_<name>]; each timing becomes the pair
+    [shades_<name>_requests_total] and [shades_<name>_seconds_total];
+    [shades_uptime_seconds] is synthesized from
+    {!Service.uptime_seconds}.  Metric names are sanitized to
+    Prometheus's alphabet (hyphens become underscores:
+    [op_verify-trace] → [shades_op_verify_trace_*]). *)
+
+val handle : ?log:(string -> unit) -> Service.t -> Unix.file_descr -> unit
+(** Serve one accepted HTTP connection to completion and close the
+    descriptor (always, also on error).  Transport errors are logged
+    via [log] (default: silence), never raised. *)

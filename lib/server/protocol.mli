@@ -9,7 +9,8 @@
     v}
 
     Requests are JSON objects with an ["op"] member (["advise"],
-    ["elect"], ["verify"], ["verify-trace"], ["stats"], ["shutdown"]);
+    ["elect"], ["verify"], ["verify-trace"], ["stats"], ["batch"],
+    ["shutdown"]);
     responses are [{"ok": true, "op": ..., "result": ...}] or
     [{"ok": false, "error": {"code": ..., "message": ...}}].  A frame
     whose {e framing} is broken (bad length line, truncation,

@@ -12,33 +12,104 @@ module Trace = Shades_trace.Trace
 module Codec = Shades_trace.Codec
 module Replay = Shades_trace.Replay
 
-(* Versions folded into the cache key: bump [advice_version] whenever
+(* Versions folded into the cache keys: bump [advice_version] whenever
    any scheme's oracle output changes for a fixed graph, so stale
-   cached advice can never be served across a behavioural change. *)
+   cached advice can never be served across a behavioural change; bump
+   [result_version] whenever an engine's execution, a verifier's
+   semantics, or the shape of the stored result JSON changes — cached
+   elect/verify results are replayed verbatim as replies, so their
+   format is part of the contract. *)
 let advice_version = 1
+let result_version = 1
 
 let default_cache_capacity = 256
 
 let cache_key ~digest ~task =
   Printf.sprintf "%s/%s/v%d" digest (Task.kind_to_string task) advice_version
 
+let elect_key ~digest ~task ~engine =
+  Printf.sprintf "%s/%s/elect-%s/v%d.%d" digest (Task.kind_to_string task)
+    engine advice_version result_version
+
+let verify_key ~digest ~task ~outputs_digest =
+  Printf.sprintf "%s/%s/verify-%s/v%d" digest (Task.kind_to_string task)
+    outputs_digest result_version
+
 type advice_entry = { advice : Bitstring.t; rounds : int }
 
 type t = {
   metrics : Metrics.t;
   advice : advice_entry Cache.t;
+  results : Json.t Cache.t;
   memo : string Cache.t;
+  cache_dir : string option;
+  started_ns : int;
+  mutable parallel : ((unit -> unit) array -> unit) option;
+      (** batch fan-out, installed by the daemon (a crew's [run_all]);
+          [None] executes batch items sequentially *)
 }
 
-let create ?(cache_capacity = default_cache_capacity) () =
+(* --- disk-tier codecs ---
+
+   Values are stored as the same JSON dialect the wire speaks, so a
+   cache directory is inspectable with standard tools.  Decoders are
+   total: any unreadable file is an [Error] (counted by the cache as
+   [disk_invalid]) and behaves as a miss. *)
+
+let advice_persist dir =
+  {
+    Cache.dir = Filename.concat dir "advice";
+    encode =
+      (fun { advice; rounds } ->
+        Json.to_string
+          (Json.Obj
+             [
+               ("advice", Json.String (Bitstring.to_string advice));
+               ("rounds", Json.Int rounds);
+             ]));
+    decode =
+      (fun data ->
+        match Json.of_string data with
+        | Error e -> Error e
+        | Ok j -> (
+            match (Json.member "advice" j, Json.member "rounds" j) with
+            | Some (Json.String bits), Some (Json.Int rounds) -> (
+                match Bitstring.of_string bits with
+                | advice -> Ok { advice; rounds }
+                | exception Invalid_argument e -> Error e)
+            | _ -> Error "advice entry needs \"advice\" and \"rounds\""));
+  }
+
+let result_persist dir =
+  {
+    Cache.dir = Filename.concat dir "results";
+    encode = Json.to_string;
+    decode = Json.of_string;
+  }
+
+let create ?(cache_capacity = default_cache_capacity) ?cache_dir () =
   let metrics = Metrics.create () in
+  let persist mk = Option.map mk cache_dir in
   {
     metrics;
-    advice = Cache.create ~name:"advice_cache" ~capacity:cache_capacity ~metrics ();
+    advice =
+      Cache.create ~name:"advice_cache" ?persist:(persist advice_persist)
+        ~capacity:cache_capacity ~metrics ();
+    results =
+      Cache.create ~name:"result_cache" ?persist:(persist result_persist)
+        ~capacity:cache_capacity ~metrics ();
     memo = Cache.create ~name:"memo" ~capacity:(max cache_capacity 1024) ~metrics ();
+    cache_dir;
+    started_ns = Metrics.now_ns ();
+    parallel = None;
   }
 
 let metrics t = t.metrics
+let cache_dir t = t.cache_dir
+let set_parallel t parallel = t.parallel <- parallel
+
+let uptime_seconds t =
+  float_of_int (Metrics.now_ns () - t.started_ns) /. 1e9
 
 (* --- per-task dispatch ---
 
@@ -128,10 +199,13 @@ let answer_of_json payload_of_json = function
 
 (* --- the advice cache --- *)
 
-(* A cheap digest of the submitted (non-canonical) encoding, used only
-   as a memo index in front of the canonical content address: repeated
-   queries on byte-identical topologies skip even the canonicalization.
-   The cache key itself is always [Port_graph.digest]. *)
+(* A cheap digest of the submitted (non-canonical) encoding, used as a
+   memo index in front of the canonical content address (repeated
+   queries on byte-identical topologies skip even canonicalization) and
+   as the representation-bound half of the elect/verify result keys:
+   advice is isomorphism-invariant, but per-node outputs are indexed by
+   the vertices of the graph as submitted, so full results must never
+   be shared between isomorphic renumberings. *)
 let encoding_digest g =
   let bits = Port_graph.encode g in
   let payload =
@@ -204,12 +278,24 @@ let graph_info g =
       ("max_degree", Json.Int (Port_graph.max_degree g));
     ]
 
+(* replace an existing member in place (order preserved) / append one *)
+let with_member name value = function
+  | Json.Obj members ->
+      Json.Obj
+        (List.map (fun (n, v) -> if n = name then (n, value) else (n, v)) members)
+  | j -> j
+
+let append_member name value = function
+  | Json.Obj members -> Json.Obj (members @ [ (name, value) ])
+  | j -> j
+
 (* --- endpoints --- *)
 
 let advise t req =
   let g = graph_exn req in
   let task = task_exn req in
   let digest, entry, cached = advise_entry t g task in
+  if cached then Metrics.incr t.metrics "computes_avoided";
   Protocol.ok_response ~op:"advise"
     (Json.Obj
        [
@@ -257,95 +343,141 @@ let elect t req =
     | `Sharded _ -> "sharded"
     | `Async seed -> Trace.engine_to_string (Trace.Async { seed })
   in
-  let (Impl { scheme; verify; payload_to_json; _ }) = impl_of_task task in
-  let messages = ref 0 in
-  let on_round ~round:_ ~messages:m = messages := m in
-  let digest, run, cached =
+  (* The result key: every engine is deterministic (async per seed), so
+     the whole reply is a pure function of (submitted encoding, task,
+     engine, versions) and can be served from the result cache without
+     touching oracle or engine.  The sharded engine is observationally
+     identical to sync at any domain count, but echoes a different
+     engine name, so it gets its own key; the domain count itself is
+     deliberately absent. *)
+  let result_engine =
     match engine with
-    | (`Sync | `Sharded _) as engine ->
-        (* the sync path reuses the cached advice end-to-end: a warm
-           election never recomputes the oracle *)
-        let digest, entry, cached = advise_entry t g task in
-        let run =
-          Metrics.time t.metrics "elect" (fun () ->
-              match engine with
-              | `Sync ->
-                  Scheme.run_with_advice ~on_round scheme g
-                    ~advice:entry.advice
-              | `Sharded domains ->
-                  Scheme.run_sharded_with_advice ?domains ~on_round scheme g
-                    ~advice:entry.advice)
-        in
-        (digest, run, cached)
-    | `Async seed ->
-        (* the α-synchronizer path exercises the full scheme (oracle
-           included) — it pins schedules, not advice reuse *)
-        let digest = canonical_digest t g in
-        let run =
-          Metrics.time t.metrics "elect" (fun () ->
-              Scheme.run_async ~seed ~on_round scheme g)
-        in
-        (digest, run, false)
+    | `Sync -> "sync"
+    | `Sharded _ -> "sharded"
+    | `Async seed -> Printf.sprintf "async-s%d" seed
   in
-  let verdict = verify g run.Scheme.outputs in
+  let key =
+    elect_key ~digest:(encoding_digest g) ~task ~engine:result_engine
+  in
+  let result, result_cached =
+    Cache.find_or_compute t.results key ~compute:(fun () ->
+        Metrics.incr t.metrics "elect_computes";
+        let (Impl { scheme; verify; payload_to_json; _ }) = impl_of_task task in
+        let messages = ref 0 in
+        let on_round ~round:_ ~messages:m = messages := m in
+        let digest, run, cached =
+          match engine with
+          | (`Sync | `Sharded _) as engine ->
+              (* the sync path reuses the cached advice end-to-end: a warm
+                 election never recomputes the oracle *)
+              let digest, entry, cached = advise_entry t g task in
+              let run =
+                Metrics.time t.metrics "elect" (fun () ->
+                    match engine with
+                    | `Sync ->
+                        Scheme.run_with_advice ~on_round scheme g
+                          ~advice:entry.advice
+                    | `Sharded domains ->
+                        Scheme.run_sharded_with_advice ?domains ~on_round scheme g
+                          ~advice:entry.advice)
+              in
+              (digest, run, cached)
+          | `Async seed ->
+              (* the α-synchronizer path exercises the full scheme (oracle
+                 included) — it pins schedules, not advice reuse *)
+              let digest = canonical_digest t g in
+              let run =
+                Metrics.time t.metrics "elect" (fun () ->
+                    Scheme.run_async ~seed ~on_round scheme g)
+              in
+              (digest, run, false)
+        in
+        let verdict = verify g run.Scheme.outputs in
+        Json.Obj
+          [
+            ("digest", Json.String digest);
+            ("task", Json.String (Task.kind_to_string task));
+            ("engine", Json.String engine_name);
+            ("rounds", Json.Int run.Scheme.rounds);
+            ("messages", Json.Int !messages);
+            ("advice_bits", Json.Int run.Scheme.advice_bits);
+            ("cached", Json.Bool cached);
+            ("verified", Json.Bool (Result.is_ok verdict));
+            ("leader",
+             match verdict with Ok l -> Json.Int l | Error _ -> Json.Null);
+            ("outputs",
+             Json.List
+               (Array.to_list
+                  (Array.map (answer_to_json payload_to_json) run.Scheme.outputs)));
+            ("graph", graph_info g);
+          ])
+  in
+  if result_cached then Metrics.incr t.metrics "computes_avoided";
+  (* a stored result carries the advice-cache verdict of its compute
+     time; a full-result hit ran nothing at all, so [cached] is
+     overridden — and [result_cached] (never stored) says which tier
+     answered *)
+  let result =
+    if result_cached then with_member "cached" (Json.Bool true) result
+    else result
+  in
   Protocol.ok_response ~op:"elect"
-    (Json.Obj
-       [
-         ("digest", Json.String digest);
-         ("task", Json.String (Task.kind_to_string task));
-         ("engine", Json.String engine_name);
-         ("rounds", Json.Int run.Scheme.rounds);
-         ("messages", Json.Int !messages);
-         ("advice_bits", Json.Int run.Scheme.advice_bits);
-         ("cached", Json.Bool cached);
-         ("verified", Json.Bool (Result.is_ok verdict));
-         ("leader",
-          match verdict with Ok l -> Json.Int l | Error _ -> Json.Null);
-         ("outputs",
-          Json.List
-            (Array.to_list
-               (Array.map (answer_to_json payload_to_json) run.Scheme.outputs)));
-         ("graph", graph_info g);
-       ])
+    (append_member "result_cached" (Json.Bool result_cached) result)
 
 let verify_outputs t req =
   let g = graph_exn req in
   let task = task_exn req in
-  let (Impl { verify; payload_of_json; _ }) = impl_of_task task in
-  let outputs =
-    match member_exn "outputs" req with
-    | Json.List l ->
-        List.map
-          (fun j ->
-            match answer_of_json payload_of_json j with
-            | Ok a -> a
-            | Error e -> failwith ("bad output: " ^ e))
-          l
-    | _ -> failwith "\"outputs\" must be a list (one answer per vertex)"
+  let outputs_json = member_exn "outputs" req in
+  (* keyed on the re-rendered parse tree, so two spellings of the same
+     JSON (whitespace, escapes) share an entry *)
+  let outputs_digest = Digest.to_hex (Digest.string (Json.to_string outputs_json)) in
+  let key =
+    verify_key ~digest:(encoding_digest g) ~task ~outputs_digest
   in
-  if List.length outputs <> Port_graph.order g then
-    failwith
-      (Printf.sprintf "expected %d outputs, got %d" (Port_graph.order g)
-         (List.length outputs));
-  let verdict =
-    Metrics.time t.metrics "verify" (fun () -> verify g (Array.of_list outputs))
+  let result, cached =
+    Cache.find_or_compute t.results key ~compute:(fun () ->
+        Metrics.incr t.metrics "verify_computes";
+        let (Impl { verify; payload_of_json; _ }) = impl_of_task task in
+        let outputs =
+          match outputs_json with
+          | Json.List l ->
+              List.map
+                (fun j ->
+                  match answer_of_json payload_of_json j with
+                  | Ok a -> a
+                  | Error e -> failwith ("bad output: " ^ e))
+                l
+          | _ -> failwith "\"outputs\" must be a list (one answer per vertex)"
+        in
+        if List.length outputs <> Port_graph.order g then
+          failwith
+            (Printf.sprintf "expected %d outputs, got %d" (Port_graph.order g)
+               (List.length outputs));
+        let verdict =
+          Metrics.time t.metrics "verify" (fun () ->
+              verify g (Array.of_list outputs))
+        in
+        let digest = canonical_digest t g in
+        Json.Obj
+          ([
+             ("digest", Json.String digest);
+             ("task", Json.String (Task.kind_to_string task));
+             ("valid", Json.Bool (Result.is_ok verdict));
+           ]
+          @
+          match verdict with
+          | Ok leader -> [ ("leader", Json.Int leader) ]
+          | Error reason -> [ ("reason", Json.String reason) ]))
   in
-  let digest = canonical_digest t g in
+  if cached then Metrics.incr t.metrics "computes_avoided";
   Protocol.ok_response ~op:"verify"
-    (Json.Obj
-       ([
-          ("digest", Json.String digest);
-          ("task", Json.String (Task.kind_to_string task));
-          ("valid", Json.Bool (Result.is_ok verdict));
-        ]
-       @
-       match verdict with
-       | Ok leader -> [ ("leader", Json.Int leader) ]
-       | Error reason -> [ ("reason", Json.String reason) ]))
+    (append_member "cached" (Json.Bool cached) result)
 
 (* The incremental path (cf. Belenios's verify-diff): the client
    uploads a full SHTR recording and the server re-executes it through
-   the deterministic engines, failing on the first divergent event. *)
+   the deterministic engines, failing on the first divergent event.
+   Deliberately uncached: the blob-sized key would bloat the store and
+   repeat uploads are rare. *)
 let verify_trace t req =
   let blob =
     match member_exn "trace" req with
@@ -398,17 +530,26 @@ let verify_trace t req =
        | Ok () -> []
        | Error d -> [ ("divergence", Json.String (Replay.pp_divergence d)) ]))
 
+let cache_json name (c : _ Cache.t) =
+  ( name,
+    Json.Obj
+      [
+        ("capacity", Json.Int (Cache.capacity c));
+        ("entries", Json.Int (Cache.entries c));
+        ("persistent", Json.Bool (Cache.persistent c));
+      ] )
+
 let stats_json t =
   Json.Obj
     [
       ("protocol", Json.Int Protocol.version);
       ("advice_version", Json.Int advice_version);
-      ("cache",
-       Json.Obj
-         [
-           ("capacity", Json.Int (Cache.capacity t.advice));
-           ("entries", Json.Int (Cache.entries t.advice));
-         ]);
+      ("result_version", Json.Int result_version);
+      ("uptime_seconds", Json.Float (uptime_seconds t));
+      ("cache_dir",
+       match t.cache_dir with Some d -> Json.String d | None -> Json.Null);
+      cache_json "cache" t.advice;
+      cache_json "result_cache" t.results;
       ("counters",
        Json.Obj
          (List.map
@@ -421,6 +562,57 @@ let stats t = Protocol.ok_response ~op:"stats" (stats_json t)
 (* --- dispatch --- *)
 
 type reaction = Reply of Json.t | Reply_and_stop of Json.t
+
+(* one non-shutdown, non-batch op -> one reply; total *)
+let dispatch t op req =
+  let guarded f =
+    match Metrics.time t.metrics ("op_" ^ op) f with
+    | reply -> reply
+    | exception Failure msg -> error ~code:"request-failed" msg
+    | exception Invalid_argument msg -> error ~code:"request-failed" msg
+  in
+  match op with
+  | "advise" -> guarded (fun () -> advise t req)
+  | "elect" -> guarded (fun () -> elect t req)
+  | "verify" -> guarded (fun () -> verify_outputs t req)
+  | "verify-trace" -> guarded (fun () -> verify_trace t req)
+  | "stats" -> guarded (fun () -> stats t)
+  | op -> error ~code:"unknown-op" ("unknown op: " ^ op)
+
+let batch_item t req =
+  match Json.member "op" req with
+  | Some (Json.String (("batch" | "shutdown") as op)) ->
+      error ~code:"bad-request" ("op " ^ op ^ " is not allowed inside a batch")
+  | Some (Json.String op) -> dispatch t op req
+  | _ -> error ~code:"bad-request" "request needs a string \"op\" member"
+
+(* One frame, many requests: items are answered in request order, each
+   in isolation (a failing item yields its own error reply and never
+   poisons its neighbours).  With a [parallel] hook installed, items
+   fan out across the daemon's batch crew; results land in
+   position-indexed slots, so the reply order is the request order
+   regardless of scheduling. *)
+let batch t req =
+  let items =
+    match member_exn "requests" req with
+    | Json.List l -> Array.of_list l
+    | _ -> failwith "\"requests\" must be a list of request objects"
+  in
+  let n = Array.length items in
+  Metrics.incr ~by:n t.metrics "batch_items";
+  let replies = Array.make n Json.Null in
+  let thunks =
+    Array.mapi (fun i item () -> replies.(i) <- batch_item t item) items
+  in
+  (match t.parallel with
+  | Some run_all when n > 1 -> run_all thunks
+  | _ -> Array.iter (fun f -> f ()) thunks);
+  Protocol.ok_response ~op:"batch"
+    (Json.Obj
+       [
+         ("count", Json.Int n);
+         ("replies", Json.List (Array.to_list replies));
+       ])
 
 let handle t req =
   Metrics.incr t.metrics "requests";
@@ -435,18 +627,10 @@ let handle t req =
       Reply_and_stop
         (Protocol.ok_response ~op:"shutdown"
            (Json.Obj [ ("stopping", Json.Bool true) ]))
-  | Some op ->
-      let guarded f =
-        match Metrics.time t.metrics ("op_" ^ op) f with
+  | Some "batch" ->
+      Reply
+        (match Metrics.time t.metrics "op_batch" (fun () -> batch t req) with
         | reply -> reply
         | exception Failure msg -> error ~code:"request-failed" msg
-        | exception Invalid_argument msg -> error ~code:"request-failed" msg
-      in
-      Reply
-        (match op with
-        | "advise" -> guarded (fun () -> advise t req)
-        | "elect" -> guarded (fun () -> elect t req)
-        | "verify" -> guarded (fun () -> verify_outputs t req)
-        | "verify-trace" -> guarded (fun () -> verify_trace t req)
-        | "stats" -> guarded (fun () -> stats t)
-        | op -> error ~code:"unknown-op" ("unknown op: " ^ op))
+        | exception Invalid_argument msg -> error ~code:"request-failed" msg)
+  | Some op -> Reply (dispatch t op req)

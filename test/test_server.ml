@@ -175,6 +175,122 @@ let test_cache_concurrent () =
   in
   Alcotest.(check bool) "all lookups counted" true (total >= 4 * 500)
 
+(* --- persistence (disk tier) --- *)
+
+let fresh_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let int_persist dir =
+  {
+    Cache.dir;
+    encode = string_of_int;
+    decode =
+      (fun s ->
+        match int_of_string_opt s with
+        | Some n -> Ok n
+        | None -> Error "not an int");
+  }
+
+let test_cache_persistence () =
+  let dir = fresh_dir "shades-cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let m = Metrics.create () in
+      let c =
+        Cache.create ~name:"p" ~persist:(int_persist dir) ~capacity:2
+          ~metrics:m ()
+      in
+      Alcotest.(check bool) "persistent" true (Cache.persistent c);
+      Cache.put c "a/slash" 1;
+      Cache.put c "b" 2;
+      Alcotest.(check int) "two files written" 2 (counter m "p_disk_writes");
+      (* eviction trims memory only: "a/slash" falls out of the LRU but
+         its file stays, so the next find is a disk hit that promotes *)
+      Cache.put c "c" 3;
+      Alcotest.(check int) "one eviction" 1 (counter m "p_evictions");
+      Alcotest.(check (option int))
+        "evicted key served from disk" (Some 1)
+        (Cache.find c "a/slash");
+      Alcotest.(check int) "disk hit counted" 1 (counter m "p_disk_hits");
+      (* a second cache on the same directory — the restart — sees
+         everything without recomputation *)
+      let m2 = Metrics.create () in
+      let c2 =
+        Cache.create ~name:"p" ~persist:(int_persist dir) ~capacity:2
+          ~metrics:m2 ()
+      in
+      let v, hit = Cache.find_or_compute c2 "b" ~compute:(fun () -> 99) in
+      Alcotest.(check (pair int bool)) "restart finds b on disk" (2, true) (v, hit);
+      Alcotest.(check int) "restart hit came from disk" 1
+        (counter m2 "p_disk_hits");
+      (* write-then-rename leaves no temp litter behind *)
+      let has_substring hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool)
+        "no stray temp files left" true
+        (Array.for_all
+           (fun f -> not (has_substring f ".tmp."))
+           (Sys.readdir dir)))
+
+let test_cache_corrupt_files () =
+  let dir = fresh_dir "shades-cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let m = Metrics.create () in
+      let c =
+        Cache.create ~name:"p" ~persist:(int_persist dir) ~capacity:2
+          ~metrics:m ()
+      in
+      Cache.put c "k" 7;
+      let file =
+        match Sys.readdir dir with
+        | [| f |] -> Filename.concat dir f
+        | _ -> Alcotest.fail "expected exactly one cache file"
+      in
+      (* corrupt the file, then restart: the entry must degrade to a
+         miss (counted as invalid), never crash or return garbage *)
+      Out_channel.with_open_bin file (fun oc -> output_string oc "zzz");
+      let m2 = Metrics.create () in
+      let c2 =
+        Cache.create ~name:"p" ~persist:(int_persist dir) ~capacity:2
+          ~metrics:m2 ()
+      in
+      Alcotest.(check (option int)) "corrupt file is a miss" None
+        (Cache.find c2 "k");
+      Alcotest.(check int) "invalid file counted" 1
+        (counter m2 "p_disk_invalid");
+      Alcotest.(check int) "and it is a miss" 1 (counter m2 "p_misses");
+      (* truncated-to-empty is just another corrupt shape *)
+      Out_channel.with_open_bin file (fun oc -> ignore oc);
+      Alcotest.(check (option int)) "empty file is a miss" None
+        (Cache.find c2 "k");
+      (* a raising decoder is tolerated too *)
+      let raising =
+        { (int_persist dir) with Cache.decode = (fun _ -> failwith "boom") }
+      in
+      Out_channel.with_open_bin file (fun oc -> output_string oc "7");
+      let c3 =
+        Cache.create ~name:"p" ~persist:raising ~capacity:2
+          ~metrics:(Metrics.create ()) ()
+      in
+      Alcotest.(check (option int)) "raising decoder is a miss" None
+        (Cache.find c3 "k"))
+
 (* --- service (no sockets) --- *)
 
 let handle_ok service req =
@@ -411,6 +527,237 @@ let test_service_verify_trace () =
   in
   Alcotest.(check bool) "tampered trace is not accepted" false accepted
 
+let strip_cache_flags = function
+  | Json.Obj ms ->
+      Json.Obj
+        (List.filter
+           (fun (n, _) -> n <> "cached" && n <> "result_cached")
+           ms)
+  | j -> j
+
+let test_service_restart_recovery () =
+  let dir = fresh_dir "shades-service" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let elect_req =
+        Json.Obj
+          [
+            ("op", Json.String "elect");
+            ("graph", Json.String "path:6");
+            ("task", Json.String "pe");
+          ]
+      in
+      let s1 = Service.create ~cache_dir:dir () in
+      let a1 = result_of (handle_ok s1 (advise_req "gclass:3,1,2")) in
+      let e1 = result_of (handle_ok s1 elect_req) in
+      let outputs = Option.get (Json.member "outputs" e1) in
+      let verify_req =
+        Json.Obj
+          [
+            ("op", Json.String "verify");
+            ("graph", Json.String "path:6");
+            ("task", Json.String "pe");
+            ("outputs", outputs);
+          ]
+      in
+      let v1 = result_of (handle_ok s1 verify_req) in
+      (* the restart: a second service on the same directory must
+         answer all three from the disk tier — zero oracle, engine or
+         referee runs — with byte-identical results modulo the
+         cache-status flags *)
+      let s2 = Service.create ~cache_dir:dir () in
+      let m2 = Service.metrics s2 in
+      let a2 = result_of (handle_ok s2 (advise_req "gclass:3,1,2")) in
+      let e2 = result_of (handle_ok s2 elect_req) in
+      let v2 = result_of (handle_ok s2 verify_req) in
+      Alcotest.(check int) "no oracle runs after restart" 0
+        (counter m2 "advise_computes");
+      Alcotest.(check int) "no engine runs after restart" 0
+        (counter m2 "elect_computes");
+      Alcotest.(check int) "no referee runs after restart" 0
+        (counter m2 "verify_computes");
+      Alcotest.(check int) "three answers served from cache" 3
+        (counter m2 "computes_avoided");
+      Alcotest.(check bool)
+        "restarted advise says cached" true
+        (Json.member "cached" a2 = Some (Json.Bool true));
+      Alcotest.(check bool)
+        "restarted elect says result_cached" true
+        (Json.member "result_cached" e2 = Some (Json.Bool true));
+      List.iter
+        (fun (what, r1, r2) ->
+          Alcotest.(check string)
+            (what ^ " reply identical across restart")
+            (Json.to_string (strip_cache_flags r1))
+            (Json.to_string (strip_cache_flags r2)))
+        [ ("advise", a1, a2); ("elect", e1, e2); ("verify", v1, v2) ])
+
+let batch_req items =
+  Json.Obj [ ("op", Json.String "batch"); ("requests", Json.List items) ]
+
+let test_service_batch () =
+  let s = Service.create () in
+  let m = Service.metrics s in
+  let reply =
+    match
+      Service.handle s
+        (batch_req
+           [
+             advise_req "gclass:3,1,2";
+             Json.Obj [ ("op", Json.String "stats") ];
+             advise_req "ring:banana";
+             batch_req [];
+             Json.Obj [ ("op", Json.String "shutdown") ];
+           ])
+    with
+    | Service.Reply r -> r
+    | Service.Reply_and_stop _ ->
+        Alcotest.fail "a batched shutdown must not stop the daemon"
+  in
+  let result = result_of reply in
+  Alcotest.(check bool)
+    "count echoed" true
+    (Json.member "count" result = Some (Json.Int 5));
+  let replies =
+    match Json.member "replies" result with
+    | Some (Json.List l) -> Array.of_list l
+    | _ -> Alcotest.fail "batch reply needs a replies list"
+  in
+  Alcotest.(check int) "one reply per item" 5 (Array.length replies);
+  (* order: slot i answers request i *)
+  Alcotest.(check bool)
+    "slot 0 is the advise" true
+    (Json.member "op" replies.(0) = Some (Json.String "advise"));
+  Alcotest.(check bool)
+    "slot 1 is the stats" true
+    (Json.member "op" replies.(1) = Some (Json.String "stats"));
+  (* isolation: the failures each sit in their own slot *)
+  Alcotest.(check bool)
+    "bad graph isolated" true
+    (is_error ~code:"request-failed" replies.(2));
+  Alcotest.(check bool)
+    "nested batch rejected" true
+    (is_error ~code:"bad-request" replies.(3));
+  Alcotest.(check bool)
+    "batched shutdown rejected" true
+    (is_error ~code:"bad-request" replies.(4));
+  Alcotest.(check int) "items counted" 5 (counter m "batch_items");
+  (* an empty batch is a valid degenerate frame *)
+  let empty = result_of (handle_ok s (batch_req [])) in
+  Alcotest.(check bool)
+    "empty batch" true
+    (Json.member "count" empty = Some (Json.Int 0))
+
+let test_service_batch_parallel () =
+  (* same semantics with a real crew installed as the fan-out hook:
+     replies stay in request order regardless of scheduling *)
+  let module Pool = Shades_runtime.Pool in
+  let s = Service.create () in
+  let crew = Pool.Crew.create ~domains:3 () in
+  Service.set_parallel s (Some (Pool.Crew.run_all crew));
+  Fun.protect
+    ~finally:(fun () ->
+      Service.set_parallel s None;
+      Pool.Crew.shutdown crew)
+    (fun () ->
+      let specs = [ "path:5"; "path:6"; "path:7"; "path:8"; "path:9" ] in
+      let result =
+        result_of (handle_ok s (batch_req (List.map advise_req specs)))
+      in
+      let replies =
+        match Json.member "replies" result with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "batch reply needs a replies list"
+      in
+      List.iter2
+        (fun spec reply ->
+          Alcotest.(check bool) (spec ^ " ok") true (not (is_error reply));
+          let solo = result_of (handle_ok s (advise_req spec)) in
+          Alcotest.(check string)
+            (spec ^ " reply in its own slot")
+            (Json.to_string (strip_cache_flags solo))
+            (Json.to_string (strip_cache_flags (result_of reply))))
+        specs replies)
+
+(* --- the HTTP plane --- *)
+
+let prom_value text name =
+  let prefix = name ^ " " in
+  let rec find = function
+    | [] -> None
+    | line :: rest ->
+        if String.starts_with ~prefix line then
+          float_of_string_opt
+            (String.sub line (String.length prefix)
+               (String.length line - String.length prefix))
+        else find rest
+  in
+  find (String.split_on_char '\n' text)
+
+let test_http_render () =
+  let s = Service.create () in
+  ignore (handle_ok s (advise_req "gclass:3,1,2"));
+  ignore (handle_ok s (advise_req "gclass:3,1,2"));
+  let text = Http.render_metrics s in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec at i = i + n <= h && (String.sub text i n = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true (contains needle))
+    [
+      "# TYPE shades_uptime_seconds gauge";
+      "# HELP shades_advice_cache_hits_total ";
+      "# TYPE shades_advise_computes_total counter";
+      "# TYPE shades_op_advise_seconds_total counter";
+    ];
+  Alcotest.(check (option (float 0.)))
+    "one oracle run" (Some 1.)
+    (prom_value text "shades_advise_computes_total");
+  Alcotest.(check (option (float 0.)))
+    "one cache hit" (Some 1.)
+    (prom_value text "shades_advice_cache_hits_total");
+  Alcotest.(check (option (float 0.)))
+    "per-op request pair" (Some 2.)
+    (prom_value text "shades_op_advise_requests_total");
+  Alcotest.(check bool)
+    "uptime positive" true
+    (match prom_value text "shades_uptime_seconds" with
+    | Some u -> u >= 0.
+    | None -> false);
+  (* counters are monotonic between scrapes *)
+  ignore (handle_ok s (advise_req "gclass:3,1,2"));
+  let text2 = Http.render_metrics s in
+  List.iter
+    (fun name ->
+      match (prom_value text name, prom_value text2 name) with
+      | Some before, Some after ->
+          Alcotest.(check bool) (name ^ " monotonic") true (after >= before)
+      | _ -> Alcotest.fail (name ^ " vanished between scrapes"))
+    [
+      "shades_requests_total";
+      "shades_advice_cache_hits_total";
+      "shades_advise_computes_total";
+      "shades_op_advise_requests_total";
+    ];
+  Alcotest.(check (option (float 0.)))
+    "hit counted by the second scrape" (Some 2.)
+    (prom_value text2 "shades_advice_cache_hits_total")
+
+let http_get path sock_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock_path);
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc ("GET " ^ path ^ " HTTP/1.1\r\nHost: test\r\n\r\n");
+  flush oc;
+  let ic = Unix.in_channel_of_descr fd in
+  let response = In_channel.input_all ic in
+  Unix.close fd;
+  response
+
 (* --- end to end over a Unix socket --- *)
 
 let test_daemon_end_to_end () =
@@ -478,6 +825,99 @@ let test_daemon_end_to_end () =
   Alcotest.(check bool)
     "socket file removed on shutdown" false (Sys.file_exists socket)
 
+let test_daemon_http_and_batch () =
+  let tmp = Filename.get_temp_dir_name () in
+  let socket =
+    Filename.concat tmp (Printf.sprintf "shades-test-h-%d.sock" (Unix.getpid ()))
+  in
+  let http_path =
+    Filename.concat tmp
+      (Printf.sprintf "shades-test-http-%d.sock" (Unix.getpid ()))
+  in
+  let endpoint = Protocol.Unix_path socket in
+  let service = Service.create () in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.run ~domains:2 ~http:(Protocol.Unix_path http_path) endpoint
+          service)
+  in
+  let conn =
+    let rec retry n =
+      match Client.connect endpoint with
+      | Ok c -> c
+      | Error e ->
+          if n = 0 then Alcotest.fail ("daemon never came up: " ^ e)
+          else (
+            Unix.sleepf 0.05;
+            retry (n - 1))
+    in
+    retry 100
+  in
+  Fun.protect
+    ~finally:(fun () -> Client.close conn)
+    (fun () ->
+      let ask req = Result.get_ok (Client.request conn req) in
+      (* prime the cache first: two identical items inside one parallel
+         batch may legitimately race and both compute *)
+      ignore (ask (advise_req "gclass:3,1,2"));
+      (* a batch over the wire: ordered, isolated *)
+      let reply =
+        ask
+          (batch_req
+             [
+               advise_req "gclass:3,1,2";
+               advise_req "ring:banana";
+               advise_req "gclass:3,1,2";
+             ])
+      in
+      let replies =
+        match Json.member "replies" (result_of reply) with
+        | Some (Json.List l) -> Array.of_list l
+        | _ -> Alcotest.fail "batch reply needs a replies list"
+      in
+      Alcotest.(check bool)
+        "wire batch: slot 0 ok" true
+        (not (is_error replies.(0)));
+      Alcotest.(check bool)
+        "wire batch: slot 1 isolated failure" true
+        (is_error replies.(1));
+      Alcotest.(check bool)
+        "wire batch: slot 2 a cache hit" true
+        (Json.member "cached" (result_of replies.(2)) = Some (Json.Bool true));
+      (* the HTTP plane answers on its own socket *)
+      let health = http_get "/healthz" http_path in
+      Alcotest.(check bool)
+        "healthz is 200 ok" true
+        (String.starts_with ~prefix:"HTTP/1.1 200 OK\r\n" health
+        && String.ends_with ~suffix:"ok\n" health);
+      let metrics = http_get "/metrics" http_path in
+      let contains needle =
+        let n = String.length needle and h = String.length metrics in
+        let rec at i =
+          i + n <= h && (String.sub metrics i n = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool)
+        "metrics is 200" true
+        (String.starts_with ~prefix:"HTTP/1.1 200 OK\r\n" metrics);
+      Alcotest.(check bool)
+        "metrics counts the batch items" true
+        (contains "shades_batch_items_total 3");
+      Alcotest.(check bool)
+        "metrics counts the http plane itself" true
+        (contains "shades_http_requests_total");
+      let missing = http_get "/nope" http_path in
+      Alcotest.(check bool)
+        "unknown path is 404" true
+        (String.starts_with ~prefix:"HTTP/1.1 404" missing);
+      let bye = ask (Json.Obj [ ("op", Json.String "shutdown") ]) in
+      Alcotest.(check bool) "shutdown acknowledged" true (not (is_error bye)));
+  Domain.join daemon;
+  Alcotest.(check bool)
+    "both socket files removed on shutdown" false
+    (Sys.file_exists socket || Sys.file_exists http_path)
+
 let () =
   Alcotest.run "shades_server"
     [
@@ -494,6 +934,8 @@ let () =
           Alcotest.test_case "lru semantics" `Quick test_cache_lru;
           Alcotest.test_case "find_or_compute" `Quick test_cache_find_or_compute;
           Alcotest.test_case "concurrent hammering" `Quick test_cache_concurrent;
+          Alcotest.test_case "disk tier" `Quick test_cache_persistence;
+          Alcotest.test_case "corrupt files" `Quick test_cache_corrupt_files;
         ] );
       ( "service",
         [
@@ -503,7 +945,16 @@ let () =
           Alcotest.test_case "elect + verify" `Quick test_service_elect_and_verify;
           Alcotest.test_case "elect sharded" `Quick test_service_elect_sharded;
           Alcotest.test_case "verify-trace" `Quick test_service_verify_trace;
+          Alcotest.test_case "restart recovery" `Quick
+            test_service_restart_recovery;
+          Alcotest.test_case "batch" `Quick test_service_batch;
+          Alcotest.test_case "batch parallel" `Quick test_service_batch_parallel;
         ] );
+      ( "http",
+        [ Alcotest.test_case "render metrics" `Quick test_http_render ] );
       ( "daemon",
-        [ Alcotest.test_case "end to end" `Quick test_daemon_end_to_end ] );
+        [
+          Alcotest.test_case "end to end" `Quick test_daemon_end_to_end;
+          Alcotest.test_case "http + batch" `Quick test_daemon_http_and_batch;
+        ] );
     ]
