@@ -14,6 +14,9 @@ GATE_REPORT ?= /tmp/shades_gate_report.json
 # Where `shades lint` writes its JSON findings report — same CI
 # override story as the gate report.
 LINT_REPORT ?= /tmp/shades_lint_report.json
+# Where `shades lint` writes its SARIF 2.1.0 log; the CI lint job
+# uploads it to GitHub code scanning so findings annotate the diff.
+LINT_SARIF ?= /tmp/shades_lint.sarif
 # The serve smoke test's sockets and final metrics snapshots.  CI
 # overrides SERVE_METRICS to a workspace path so a failing smoke run
 # uploads the daemon's own counters as an artifact; the Prometheus
@@ -54,8 +57,9 @@ test:
 # unsuppressed finding, 2 if the .cmts cannot be loaded.
 lint:
 	dune build @all
-	@mkdir -p $(dir $(LINT_REPORT))
-	dune exec bin/shades_cli.exe -- lint --json $(LINT_REPORT)
+	@mkdir -p $(dir $(LINT_REPORT)) $(dir $(LINT_SARIF))
+	dune exec bin/shades_cli.exe -- lint --json $(LINT_REPORT) \
+	    --sarif $(LINT_SARIF)
 
 # The tier-1 gate: full build, full test suite, the tiny-grid smoke
 # sweep compared --strict against the committed sharded baseline
@@ -80,8 +84,9 @@ lint:
 # step runs last.
 check:
 	dune build @all
-	@mkdir -p $(dir $(LINT_REPORT))
-	dune exec bin/shades_cli.exe -- lint --json $(LINT_REPORT)
+	@mkdir -p $(dir $(LINT_REPORT)) $(dir $(LINT_SARIF))
+	dune exec bin/shades_cli.exe -- lint --json $(LINT_REPORT) \
+	    --sarif $(LINT_SARIF)
 	dune runtest
 	@mkdir -p $(dir $(SMOKE_OUT))
 	dune exec bin/shades_cli.exe -- sweep --tiny -o $(SMOKE_OUT) \

@@ -997,7 +997,7 @@ let lint_cmd =
       Cmdliner.Cmd.Exit.info 125 ~doc:"on unexpected internal errors (bugs).";
     ]
   in
-  let run json rules root paths =
+  let run json sarif rules root paths =
     let rules = match rules with [] -> None | rs -> Some rs in
     let paths = match paths with [] -> [ "lib" ] | ps -> ps in
     let result = Lint.run ?rules ~root ~paths () in
@@ -1009,6 +1009,15 @@ let lint_cmd =
             Report.write_json ~path report;
             Printf.printf "wrote lint report to %s\n" path)
           json;
+        Option.iter
+          (fun path ->
+            (* selection cannot fail here: Lint.run already resolved it *)
+            let selected =
+              match Lint.select rules with Ok rs -> rs | Error _ -> Lint.rules
+            in
+            Report.write_sarif ~path ~rules:selected report;
+            Printf.printf "wrote SARIF log to %s\n" path)
+          sarif;
         Format.printf "%a@?" Report.pp report);
     exit (Lint.exit_code result)
   in
@@ -1018,6 +1027,15 @@ let lint_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the report as JSON to FILE (the CI artifact).")
+  in
+  let sarif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report as a SARIF 2.1.0 log to FILE (the \
+             dialect GitHub code scanning ingests).")
   in
   let rules_arg =
     Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"R1,R2" ~doc:rules_doc)
@@ -1042,7 +1060,7 @@ let lint_cmd =
          "Run the shadescheck determinism & locality rules over the \
           project's typed ASTs.  Exits 0 clean, 1 on findings, 2 when \
           the .cmt files cannot be loaded.")
-    Term.(const run $ json_arg $ rules_arg $ root_arg $ paths_arg)
+    Term.(const run $ json_arg $ sarif_arg $ rules_arg $ root_arg $ paths_arg)
 
 (* --- families --- *)
 
@@ -1170,9 +1188,11 @@ let default_endpoint = "unix:/tmp/shades.sock"
 
 let serve_cmd =
   let open Shades_server in
-  let run listen http domains cache_capacity cache_dir max_frame metrics_out
-      quiet =
-    let service = Service.create ~cache_capacity ?cache_dir () in
+  let run listen http domains cache_capacity cache_dir cache_max_bytes
+      max_frame metrics_out quiet =
+    let service =
+      Service.create ~cache_capacity ?cache_dir ?cache_max_bytes ()
+    in
     let log =
       if quiet then fun _ -> ()
       else fun m -> Printf.eprintf "shades-serve: %s\n%!" m
@@ -1257,6 +1277,18 @@ let serve_cmd =
              reloaded on restart so a daemon restarted on the same DIR \
              answers previously seen requests with zero recomputation.")
   in
+  let cache_max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget for each persistent cache tier directory (advice \
+             and results separately).  A write that pushes a tier past the \
+             budget evicts its oldest files (by mtime) until it fits; \
+             evictions are counted as $(b,*_disk_evictions) in \
+             $(b,GET /metrics).  Default: unbounded.")
+  in
   let max_frame_arg =
     Arg.(
       value
@@ -1288,7 +1320,8 @@ let serve_cmd =
           sends $(b,shutdown).")
     Term.(
       const run $ listen_arg $ http_arg $ domains_arg $ capacity_arg
-      $ cache_dir_arg $ max_frame_arg $ metrics_out_arg $ quiet_arg)
+      $ cache_dir_arg $ cache_max_bytes_arg $ max_frame_arg $ metrics_out_arg
+      $ quiet_arg)
 
 let client_cmd =
   let open Shades_server in

@@ -1,4 +1,5 @@
-let rules = Rules_det.rules @ Rules_arch.rules
+let rules =
+  Rules_det.rules @ Rules_conc.rules @ Rules_version.rules @ Rules_arch.rules
 
 let rule_names = List.map (fun r -> r.Rule.name) rules
 

@@ -11,7 +11,13 @@
     never to be confused with a clean run). *)
 
 val rules : Rule.t list
-(** The full registry: determinism rules then architecture rules. *)
+(** The full registry: determinism rules, domain-safety capture rules,
+    the version-stamp pass, then architecture rules. *)
+
+val select : string list option -> (Rule.t list, string) result
+(** Resolve a [--rules] selection against the registry: [None] is the
+    full registry; an unknown name is an [Error] naming the known
+    vocabulary. *)
 
 val rule_names : string list
 (** Registry names in registry order — the [--rules] vocabulary.  Help

@@ -2,7 +2,7 @@ module Json = Shades_json.Json
 
 type t = { findings : Finding.t list; suppressed : int; units : int }
 
-let version = 1
+let version = Shades_versions.Versions.lint_report
 
 let clean t =
   not
@@ -47,4 +47,95 @@ let write_json ~path t =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+(* --- SARIF 2.1.0 ---
+
+   The static-analysis interchange format GitHub code scanning
+   ingests: one run, one driver (shadescheck), the rule registry as
+   [tool.driver.rules] and each finding as a [result] with a physical
+   location.  Columns are 1-based in SARIF where findings carry the
+   compiler's 0-based column. *)
+
+let sarif_level = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+
+let to_sarif ~rules t =
+  let rule_meta (r : Rule.t) =
+    Json.Obj
+      [
+        ("id", Json.String r.Rule.name);
+        ("shortDescription", Json.Obj [ ("text", Json.String r.Rule.doc) ]);
+        ( "defaultConfiguration",
+          Json.Obj [ ("level", Json.String (sarif_level r.Rule.severity)) ] );
+      ]
+  in
+  let result (f : Finding.t) =
+    Json.Obj
+      [
+        ("ruleId", Json.String f.Finding.rule);
+        ("level", Json.String (sarif_level f.Finding.severity));
+        ("message", Json.Obj [ ("text", Json.String f.Finding.message) ]);
+        ( "locations",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ( "physicalLocation",
+                    Json.Obj
+                      [
+                        ( "artifactLocation",
+                          Json.Obj
+                            [
+                              ("uri", Json.String f.Finding.file);
+                              ("uriBaseId", Json.String "%SRCROOT%");
+                            ] );
+                        ( "region",
+                          Json.Obj
+                            [
+                              ("startLine", Json.Int (max 1 f.Finding.line));
+                              ( "startColumn",
+                                Json.Int (max 1 (f.Finding.col + 1)) );
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ( "$schema",
+        Json.String
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "shadescheck");
+                            ( "version",
+                              Json.String (string_of_int version) );
+                            ("rules", Json.List (List.map rule_meta rules));
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result t.findings));
+              ];
+          ] );
+    ]
+
+let write_sarif ~path ~rules t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_sarif ~rules t));
       output_char oc '\n')

@@ -20,3 +20,12 @@ val to_json : t -> Shades_json.Json.t
 
 val write_json : path:string -> t -> unit
 (** [to_json] rendered to [path] (newline-terminated). *)
+
+val to_sarif : rules:Rule.t list -> t -> Shades_json.Json.t
+(** The run as a SARIF 2.1.0 log: one run, driver [shadescheck],
+    [rules] (the registry the run selected) as the driver's rule
+    metadata, each finding a [result] with a 1-based physical
+    location.  The dialect GitHub code scanning ingests. *)
+
+val write_sarif : path:string -> rules:Rule.t list -> t -> unit
+(** [to_sarif] rendered to [path] (newline-terminated). *)

@@ -28,6 +28,10 @@ val matches : string -> string list -> bool
     [. ^ pattern] (a module-qualified suffix match: local module
     aliases keep matching; accidental substring hits do not). *)
 
+val head_path : Typedtree.expression -> Path.t option
+(** The resolved path heading an expression: the identifier itself, or
+    the function identifier of a (possibly nested) application. *)
+
 val in_dir : Cmt_load.unit_info -> string -> bool
 (** Does the unit's recorded source path contain the directory
     [segment] (e.g. ["lib/election"])? *)

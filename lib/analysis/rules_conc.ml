@@ -1,0 +1,388 @@
+(* Domain-safety capture analysis (DESIGN §9, "shadescheck v2").
+
+   The repo's determinism story survives OCaml 5 parallelism only if
+   nothing a crew domain runs races the spawning context.  This rule
+   family finds the closures that cross a domain boundary — arguments
+   of [Crew.submit]/[Crew.run_all], [Pool.map]/[map_list] and
+   [Domain.spawn] — and walks them for accesses to mutable state that
+   is *captured* (reachable from the spawning context: a local ident
+   bound outside the closure, or any module-level path).
+
+   The lattice, deliberately simple and convention-shaped:
+
+   - an access mediated by [Mutex.protect], or lexically after a
+     [Mutex.lock] statement in the same sequence (until the matching
+     [Mutex.unlock]), is guarded;
+   - [Atomic.*]/[Mutex.*]/[Condition.*]/[Semaphore.*] operations are
+     mediation, never findings;
+   - a value allocated inside the closure (any ident bound within it,
+     parameters and local lets included) is closure-local;
+   - an array/bytes write whose index is not a constant is the blessed
+     disjoint-slot idiom (the batch reply array, the sharded engine's
+     per-shard telemetry) and is allowed — slot disjointness is the
+     caller's proof obligation, the barrier between phases its usual
+     discharge;
+   - named local functions referenced from a crew-bound closure are
+     inlined (their bodies walked in the same context), so the sharded
+     engine's [send_phase]/[deliver_phase] and the pool's [worker] are
+     analyzed even though the submitted expression is only a partial
+     application.
+
+   Unguarded shared *writes* are [race-risk] (error); unguarded shared
+   *reads* of mutable state are [race-smell] (warning) — a read is
+   only wrong if someone writes, which may live in another unit the
+   per-unit analysis cannot see.  Cross-module calls are not inlined:
+   state that only ever crosses the boundary behind another module's
+   mutex (the Cache, the Metrics registry) is that module's contract,
+   not this rule's. *)
+
+let starts_with prefix s =
+  let np = String.length prefix in
+  String.length s >= np && String.sub s 0 np = prefix
+
+(* Entry points whose closure arguments run on another domain.  The
+   bare [run_all]/[submit] spellings catch indirect hooks (the
+   daemon's [Service.set_parallel] hands a crew's [run_all] around as
+   a plain function value). *)
+let crew_heads =
+  [
+    "Crew.submit"; "Crew.run_all"; "Pool.map"; "Pool.map_list";
+    "Shades_pool.map"; "Shades_pool.map_list"; "Domain.spawn";
+    "run_all"; "submit";
+  ]
+
+let ref_writers = [ ":="; "incr"; "decr" ]
+
+(* index-addressed writes: allowed when the index is not a constant
+   (the disjoint-slot idiom), a risk when it is *)
+let slot_writers = [ "Array.set"; "Array.unsafe_set"; "Bytes.set"; "Bytes.unsafe_set" ]
+
+(* In-place mutators, with the positional index(es) of the argument(s)
+   they mutate — the stdlib is not uniform: [Hashtbl.replace tbl k v]
+   mutates argument 0, [Queue.push x q] argument 1, [Array.blit src
+   spos dst dpos len] argument 2. *)
+let mutators =
+  [
+    ("Hashtbl.add", [ 0 ]); ("Hashtbl.replace", [ 0 ]);
+    ("Hashtbl.remove", [ 0 ]); ("Hashtbl.reset", [ 0 ]);
+    ("Hashtbl.clear", [ 0 ]); ("Hashtbl.filter_map_inplace", [ 1 ]);
+    ("Queue.push", [ 1 ]); ("Queue.add", [ 1 ]); ("Queue.pop", [ 0 ]);
+    ("Queue.take", [ 0 ]); ("Queue.take_opt", [ 0 ]); ("Queue.clear", [ 0 ]);
+    ("Queue.transfer", [ 0; 1 ]);
+    ("Stack.push", [ 1 ]); ("Stack.pop", [ 0 ]); ("Stack.pop_opt", [ 0 ]);
+    ("Stack.clear", [ 0 ]);
+    ("Buffer.add_char", [ 0 ]); ("Buffer.add_string", [ 0 ]);
+    ("Buffer.add_bytes", [ 0 ]); ("Buffer.add_substring", [ 0 ]);
+    ("Buffer.add_buffer", [ 0 ]); ("Buffer.clear", [ 0 ]);
+    ("Buffer.reset", [ 0 ]); ("Buffer.truncate", [ 0 ]);
+    ("Array.fill", [ 0 ]); ("Array.blit", [ 2 ]);
+    ("Bytes.fill", [ 0 ]); ("Bytes.blit", [ 2 ]); ("Bytes.blit_string", [ 2 ]);
+  ]
+
+(* [mutator_targets h] — the mutated argument positions, if [h] names
+   a known in-place mutator (module-qualified suffix match, so local
+   aliases keep matching). *)
+let mutator_targets h =
+  List.fold_left
+    (fun acc (name, targets) ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Rule.matches h [ name ] then Some targets else None)
+    None mutators
+
+let lock_calls = [ "Mutex.lock" ]
+let unlock_calls = [ "Mutex.unlock" ]
+let protect_calls = [ "Mutex.protect" ]
+
+(* operations that *are* the mediation; also keeps the bare "incr"
+   pattern from matching "Atomic.incr" *)
+let mediated_prefixes = [ "Atomic."; "Mutex."; "Condition."; "Semaphore." ]
+
+(* Types whose shared unguarded *read* is already a smell.  Arrays and
+   the values behind them are deliberately absent: arrays are the
+   repo's blessed slot medium, and their writes are policed above. *)
+let mutable_containers =
+  [ "ref"; "Hashtbl.t"; "Queue.t"; "Stack.t"; "Buffer.t"; "Bytes.t"; "bytes"; "Dynarray.t" ]
+
+type access = {
+  kind : [ `Write | `Read ];
+  name : string;
+  op : string;
+  loc : Location.t;
+}
+
+let head_name e =
+  match Rule.head_path e with Some p -> Some (Rule.normalize p) | None -> None
+
+let type_head_name ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (Rule.normalize p)
+  | _ -> None
+
+let is_container ty =
+  match type_head_name ty with
+  | Some n -> Rule.matches n mutable_containers
+  | None -> false
+
+let is_function ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, _, _, _) -> true
+  | _ -> false
+
+let rec root_of (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_field (subj, _, _) -> root_of subj
+  | _ -> e
+
+(* The root of an access path, when it denotes a value reachable from
+   the spawning context: a local ident not bound inside the closure,
+   or any module-level path. *)
+let shared_root bound (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+      if Hashtbl.mem bound (Ident.unique_name id) then None
+      else Some (Ident.name id)
+  | Typedtree.Texp_ident (p, _, _) -> Some (Rule.normalize p)
+  | _ -> None
+
+(* every ident any pattern under [e] binds, into [bound] *)
+let collect_pats bound e =
+  let pat : type k. Tast_iterator.iterator -> k Typedtree.general_pattern -> unit
+      =
+   fun sub p ->
+    List.iter
+      (fun id -> Hashtbl.replace bound (Ident.unique_name id) ())
+      (Typedtree.pat_bound_idents p);
+    Tast_iterator.default_iterator.Tast_iterator.pat sub p
+  in
+  let it = { Tast_iterator.default_iterator with Tast_iterator.pat } in
+  it.Tast_iterator.expr it e
+
+let positional args = List.filter_map snd args
+
+(* Walk one crew-bound argument expression, recording unguarded shared
+   accesses.  [bindings] maps unit-local value bindings (by unique
+   ident) to their expressions, for inlining named helpers. *)
+let analyze ~bindings ~acc root_expr =
+  let bound = Hashtbl.create 64 in
+  let visited = Hashtbl.create 16 in
+  let locked = ref false in
+  collect_pats bound root_expr;
+  let record kind name op loc = acc := { kind; name; op; loc } :: !acc in
+  let rec walk e = iterator.Tast_iterator.expr iterator e
+  and walk_locked e =
+    let saved = !locked in
+    locked := true;
+    walk e;
+    locked := saved
+  and flag_write op (e : Typedtree.expression) =
+    match shared_root bound (root_of e) with
+    | Some name when not !locked -> record `Write name op e.Typedtree.exp_loc
+    | _ -> ()
+  and inline id =
+    let key = Ident.unique_name id in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      match Hashtbl.find_opt bindings key with
+      | Some bexpr ->
+          collect_pats bound bexpr;
+          walk bexpr
+      | None -> ()
+    end
+  and handle_apply f args =
+    let h = match head_name f with Some h -> h | None -> "" in
+    if Rule.matches h protect_calls then begin
+      walk f;
+      List.iter walk_locked (positional args)
+    end
+    else if List.exists (fun p -> starts_with p h) mediated_prefixes then begin
+      walk f;
+      List.iter walk (positional args)
+    end
+    else if Rule.matches h ref_writers then begin
+      match positional args with
+      | target :: rest ->
+          flag_write h target;
+          List.iter walk rest
+      | [] -> walk f
+    end
+    else if Rule.matches h slot_writers then begin
+      match positional args with
+      | target :: index :: rest ->
+          (match index.Typedtree.exp_desc with
+          | Typedtree.Texp_constant _ -> flag_write (h ^ " at a constant index") target
+          | _ -> () (* the disjoint-slot idiom *));
+          walk target;
+          walk index;
+          List.iter walk rest
+      | args ->
+          walk f;
+          List.iter walk args
+    end
+    else begin
+      match mutator_targets h with
+      | Some targets ->
+          List.iteri
+            (fun i a ->
+              if List.mem i targets then flag_write h a else walk a)
+            (positional args)
+      | None -> default_apply f args
+    end
+  and default_apply f args = begin
+      walk f;
+      List.iter walk (positional args)
+    end
+  and expr_hook sub (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_sequence (e1, e2) ->
+        walk e1;
+        let saved = !locked in
+        (match head_name e1 with
+        | Some h when Rule.matches h lock_calls -> locked := true
+        | Some h when Rule.matches h unlock_calls -> locked := false
+        | _ -> ());
+        walk e2;
+        locked := saved
+    | Typedtree.Texp_apply (f, args) -> handle_apply f args
+    | Typedtree.Texp_setfield (subj, _, lbl, v) ->
+        flag_write ("<- on field " ^ lbl.Types.lbl_name) subj;
+        walk subj;
+        walk v
+    | Typedtree.Texp_field (subj, _, lbl) ->
+        (match lbl.Types.lbl_mut with
+        | Asttypes.Mutable -> (
+            match shared_root bound (root_of subj) with
+            | Some name when not !locked ->
+                record `Read
+                  (name ^ "." ^ lbl.Types.lbl_name)
+                  "mutable field read" e.Typedtree.exp_loc
+            | _ -> ())
+        | Asttypes.Immutable -> ());
+        walk subj
+    | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+        (* container check before inlining: a unit-level [let tbl =
+           Hashtbl.create 8] is in the binding table too, and inlining
+           its defining expression would swallow the shared read *)
+        if not (Hashtbl.mem bound (Ident.unique_name id)) then begin
+          if is_container e.Typedtree.exp_type then begin
+            if not !locked then
+              record `Read (Ident.name id) "shared read" e.Typedtree.exp_loc
+          end
+          else if
+            (* only function-valued bindings run *on* the crew; the
+               defining expression of a plain value ([let round =
+               !rounds in ...]) evaluates in the spawning context and
+               must not be walked as crew code *)
+            is_function e.Typedtree.exp_type
+            && Hashtbl.mem bindings (Ident.unique_name id)
+          then inline id
+        end
+    | Typedtree.Texp_ident (p, _, _) ->
+        if is_container e.Typedtree.exp_type && not !locked then
+          record `Read (Rule.normalize p) "shared read" e.Typedtree.exp_loc
+    | _ -> Tast_iterator.default_iterator.Tast_iterator.expr sub e
+  and iterator =
+    { Tast_iterator.default_iterator with Tast_iterator.expr = expr_hook }
+  in
+  (* the argument may be a bare name for the work to run ([run_all
+     thunks], [Domain.spawn worker]): follow it whatever its type *)
+  (match root_expr.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (Path.Pident id, _, _) -> inline id
+  | _ -> ());
+  walk root_expr
+
+(* the unit's local value bindings, one ident to one expression *)
+let unit_bindings str =
+  let bindings = Hashtbl.create 64 in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    (match Typedtree.pat_bound_idents vb.Typedtree.vb_pat with
+    | [ id ] -> Hashtbl.replace bindings (Ident.unique_name id) vb.Typedtree.vb_expr
+    | _ -> ());
+    Tast_iterator.default_iterator.Tast_iterator.value_binding sub vb
+  in
+  let it =
+    { Tast_iterator.default_iterator with Tast_iterator.value_binding }
+  in
+  it.Tast_iterator.structure it str;
+  bindings
+
+let accesses unit =
+  match unit.Cmt_load.structure with
+  | None -> []
+  | Some str ->
+      let bindings = unit_bindings str in
+      let acc = ref [] in
+      let expr_hook sub (e : Typedtree.expression) =
+        (match e.Typedtree.exp_desc with
+        | Typedtree.Texp_apply (_, args) -> (
+            match head_name e with
+            | Some h when Rule.matches h crew_heads ->
+                List.iter (analyze ~bindings ~acc) (positional args)
+            | _ -> ())
+        | _ -> ());
+        Tast_iterator.default_iterator.Tast_iterator.expr sub e
+      in
+      let it = { Tast_iterator.default_iterator with Tast_iterator.expr = expr_hook } in
+      it.Tast_iterator.structure it str;
+      (* two crew calls can inline the same helper: report each access
+         site once *)
+      List.sort_uniq compare (List.rev !acc)
+
+let over_accesses rule unit ~f =
+  List.filter_map
+    (fun a ->
+      match f a with
+      | Some message -> Some (Rule.finding ~rule ~unit ~loc:a.loc message)
+      | None -> None)
+    (accesses unit)
+
+(* --- race-risk --- *)
+
+let rec race_risk =
+  lazy
+    {
+      Rule.name = "race-risk";
+      severity = Finding.Error;
+      doc =
+        "unguarded write to mutable state captured by a crew-bound closure \
+         (Crew.submit/run_all, Pool.map, Domain.spawn)";
+      check =
+        (fun unit ->
+          over_accesses (Lazy.force race_risk) unit ~f:(fun a ->
+              match a.kind with
+              | `Write ->
+                  Some
+                    (Printf.sprintf
+                       "%s lives in the spawning context but a crew-bound \
+                        closure mutates it (%s) without Mutex/Atomic \
+                        mediation; guard it, make it closure-local, or write \
+                        through a disjoint per-task slot (variable index)"
+                       a.name a.op)
+              | `Read -> None));
+    }
+
+(* --- race-smell --- *)
+
+let rec race_smell =
+  lazy
+    {
+      Rule.name = "race-smell";
+      severity = Finding.Warning;
+      doc =
+        "unguarded read of shared mutable state inside a crew-bound closure \
+         — racy if any context writes it";
+      check =
+        (fun unit ->
+          over_accesses (Lazy.force race_smell) unit ~f:(fun a ->
+              match a.kind with
+              | `Read ->
+                  Some
+                    (Printf.sprintf
+                       "%s is mutable, lives in the spawning context, and a \
+                        crew-bound closure reads it (%s) without Mutex/Atomic \
+                        mediation; a concurrent writer would race this read"
+                       a.name a.op)
+              | `Write -> None));
+    }
+
+let rules = [ Lazy.force race_risk; Lazy.force race_smell ]

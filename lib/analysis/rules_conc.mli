@@ -1,0 +1,14 @@
+(** Domain-safety capture analysis over crew-bound closures.
+
+    Arguments of [Crew.submit]/[Crew.run_all], [Pool.map]/[map_list]
+    and [Domain.spawn] run on another domain.  These rules walk such
+    closures (inlining unit-local named helpers they reference) and
+    flag accesses to mutable state reachable from the spawning
+    context, unless mediated by [Mutex.protect]/[Mutex.lock] scope or
+    [Atomic.*], allocated inside the closure, or written through the
+    disjoint-slot idiom (array/bytes write at a non-constant index).
+
+    - [race-risk] (error): unguarded shared write.
+    - [race-smell] (warning): unguarded shared read of mutable state. *)
+
+val rules : Rule.t list

@@ -1,0 +1,147 @@
+(* Version-stamp consistency (DESIGN §9, "shadescheck v2").
+
+   Every on-disk or on-wire artifact the project emits is stamped:
+   the SHTR trace codec, the results-store schema, the wire protocol,
+   the advice/result cache generations, the lint report itself.  A
+   stamp that drifts — bumped in one spelling of a cache key but not
+   another — silently corrupts cache correctness: two incompatible
+   payloads land under the same key, or compatible ones stop hitting.
+
+   The registry [lib/versions] (Shades_versions.Versions) is therefore
+   the one module allowed to spell a stamp as a literal or derive a
+   cache key.  This rule polices that invariant in two passes:
+
+   - typed pass: a value binding named [version]/[*_version] or
+     [magic]/[*_magic] whose body is a bare constant pins a stamp
+     outside the registry.  The blessed spelling is an alias of the
+     registry ([let version = Shades_versions.Versions.wire_protocol]),
+     which is an ident, not a constant, and stays quiet.
+   - text pass: a string literal spelling one of the key-derivation
+     markers ("/v%d", "/elect-", "/verify-", "SHTR") rebuilds a cache
+     key or frame header by hand instead of going through
+     [Versions.advice_key]/[elect_key]/[verify_key].  This pass works
+     on source text because the typechecker lowers format strings into
+     CamlinternalFormatBasics constructions — the literal never
+     surfaces in the typed AST.
+
+   Everything under lib/versions is exempt: that is where the literals
+   are supposed to live. *)
+
+(* shadescheck: allow-file version-drift -- this rule's own marker
+   table must spell the markers it polices *)
+
+let registry_dir = "versions"
+
+let ends_with suffix s =
+  let ns = String.length suffix and n = String.length s in
+  n >= ns && String.sub s (n - ns) ns = suffix
+
+let stampish name =
+  name = "version" || name = "magic"
+  || ends_with "_version" name
+  || ends_with "_magic" name
+
+(* Markers that only appear when a cache key or frame header is being
+   derived by hand.  "/v%d" catches sprintf-style key builders;
+   "/elect-" and "/verify-" the task-scoped key families; "SHTR" the
+   trace frame magic. *)
+let markers = [ "/v%d"; "/elect-"; "/verify-"; "SHTR" ]
+
+(* [inside_string line i] — crude but effective: an odd number of
+   double quotes before position [i] means position [i] sits inside a
+   string literal.  Escaped quotes inside literals would fool it; the
+   repo spells none, and a stray false positive is suppressible. *)
+let inside_string line i =
+  let quotes = ref 0 in
+  for j = 0 to i - 1 do
+    if line.[j] = '"' then incr quotes
+  done;
+  !quotes land 1 = 1
+
+let find_all line needle =
+  let nn = String.length needle and n = String.length line in
+  let rec go i acc =
+    if i + nn > n then List.rev acc
+    else if String.sub line i nn = needle then go (i + nn) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let text_findings rule unit =
+  match Cmt_load.read_source unit with
+  | None -> []
+  | Some text ->
+      let findings = ref [] in
+      List.iteri
+        (fun idx line ->
+          List.iter
+            (fun marker ->
+              List.iter
+                (fun col ->
+                  if inside_string line col then
+                    findings :=
+                      {
+                        Finding.rule = rule.Rule.name;
+                        severity = rule.Rule.severity;
+                        file = unit.Cmt_load.source;
+                        line = idx + 1;
+                        col;
+                        message =
+                          Printf.sprintf
+                            "string literal spells the versioned key/header \
+                             marker %S outside lib/versions; derive it via \
+                             Shades_versions.Versions (advice_key, elect_key, \
+                             verify_key, shtr_magic)"
+                            marker;
+                      }
+                      :: !findings)
+                (find_all line marker))
+            markers)
+        (String.split_on_char '\n' text);
+      List.rev !findings
+
+let typed_findings rule unit =
+  match unit.Cmt_load.structure with
+  | None -> []
+  | Some str ->
+      let findings = ref [] in
+      let value_binding sub (vb : Typedtree.value_binding) =
+        (match Typedtree.pat_bound_idents vb.Typedtree.vb_pat with
+        | [ id ] when stampish (Ident.name id) -> (
+            match vb.Typedtree.vb_expr.Typedtree.exp_desc with
+            | Typedtree.Texp_constant _ ->
+                findings :=
+                  Rule.finding ~rule ~unit ~loc:vb.Typedtree.vb_loc
+                    (Printf.sprintf
+                       "%s pins a format/version stamp with a literal outside \
+                        the registry; declare the stamp in \
+                        Shades_versions.Versions and alias it here"
+                       (Ident.name id))
+                  :: !findings
+            | _ -> ())
+        | _ -> ());
+        Tast_iterator.default_iterator.Tast_iterator.value_binding sub vb
+      in
+      let it =
+        { Tast_iterator.default_iterator with Tast_iterator.value_binding }
+      in
+      it.Tast_iterator.structure it str;
+      List.rev !findings
+
+let rec version_drift =
+  lazy
+    {
+      Rule.name = "version-drift";
+      severity = Finding.Error;
+      doc =
+        "format/version stamp pinned, or cache-key/frame-header derivation \
+         spelled, outside the lib/versions registry";
+      check =
+        (fun unit ->
+          if Rule.in_dir unit registry_dir then []
+          else
+            let rule = Lazy.force version_drift in
+            typed_findings rule unit @ text_findings rule unit);
+    }
+
+let rules = [ Lazy.force version_drift ]

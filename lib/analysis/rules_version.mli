@@ -1,0 +1,11 @@
+(** Version-stamp consistency pass.
+
+    [version-drift] (error): a value binding named [version]/[*_version]
+    or [magic]/[*_magic] bound to a bare constant, or a string literal
+    spelling one of the cache-key/frame-header markers ("/v%d",
+    "/elect-", "/verify-", "SHTR"), anywhere outside the
+    [lib/versions] registry.  Stamps must be declared once in
+    [Shades_versions.Versions] and aliased; keys must be derived via
+    [Versions.advice_key]/[elect_key]/[verify_key]. *)
+
+val rules : Rule.t list

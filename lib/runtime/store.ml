@@ -1,6 +1,6 @@
 module Json = Shades_json.Json
 
-let schema_version = 2
+let schema_version = Shades_versions.Versions.store_schema
 
 type record = {
   params : (string * Json.t) list;

@@ -17,6 +17,7 @@ type 'a persist = {
   dir : string;
   encode : 'a -> string;
   decode : string -> ('a, string) result;
+  max_bytes : int option;
 }
 
 type 'a node = {
@@ -138,8 +139,63 @@ let put_memory t key value =
 
 (* --- disk tier; all I/O outside the mutex --- *)
 
+(* in-flight temp files of this or a sibling daemon: never evict them
+   (a concurrent rename would fail), never count them (transient) *)
+let is_tmp name =
+  let rec has_sub i =
+    i + 5 <= String.length name
+    && (String.sub name i 5 = ".tmp." || has_sub (i + 1))
+  in
+  has_sub 0
+
+(* Trim the tier directory to [budget] bytes by deleting files in
+   oldest-mtime order ((mtime, name) — the name breaks ties
+   deterministically), never the file just written.  Best-effort
+   throughout: a file another daemon already evicted, or a stat that
+   races a rename, is skipped, not an error. *)
+let enforce_budget t p ~keep budget =
+  match Sys.readdir p.dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let files =
+        List.filter_map
+          (fun name ->
+            if is_tmp name then None
+            else
+              let path = Filename.concat p.dir name in
+              match Unix.stat path with
+              | exception Unix.Unix_error _ -> None
+              | st when st.Unix.st_kind = Unix.S_REG ->
+                  Some (st.Unix.st_mtime, name, st.Unix.st_size)
+              | _ -> None)
+          (Array.to_list names)
+      in
+      let total =
+        List.fold_left (fun acc (_, _, size) -> acc + size) 0 files
+      in
+      let oldest_first =
+        List.sort
+          (fun (ma, na, _) (mb, nb, _) ->
+            match Float.compare ma mb with
+            | 0 -> String.compare na nb
+            | c -> c)
+          files
+      in
+      ignore
+        (List.fold_left
+           (fun remaining (_, name, size) ->
+             if remaining <= budget || name = keep then remaining
+             else
+               match Sys.remove (Filename.concat p.dir name) with
+               | () ->
+                   Metrics.incr t.metrics (counter t "disk_evictions");
+                   remaining - size
+               | exception Sys_error _ -> remaining)
+           total oldest_first)
+
 let disk_write t p key value =
-  let file = Filename.concat p.dir (file_of_key key) in
+  let name = file_of_key key in
+  let file = Filename.concat p.dir name in
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ())
       (Atomic.fetch_and_add t.tmp_seq 1)
@@ -150,7 +206,9 @@ let disk_write t p key value =
        one, never a torn write — even across daemons sharing the dir *)
     Unix.rename tmp file
   with
-  | () -> Metrics.incr t.metrics (counter t "disk_writes")
+  | () ->
+      Metrics.incr t.metrics (counter t "disk_writes");
+      Option.iter (enforce_budget t p ~keep:name) p.max_bytes
   | exception Sys_error _ | exception Unix.Unix_error _ ->
       (* a full or read-only disk degrades to a memory-only cache *)
       (try Sys.remove tmp with Sys_error _ -> ());

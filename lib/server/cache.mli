@@ -32,9 +32,10 @@
     [<name>_disk_hits], [<name>_disk_writes], [<name>_disk_invalid]
     (unreadable or corrupt files tolerated as misses),
     [<name>_disk_errors] (failed writes — the cache degrades to
-    memory-only), all counters; [<name>_entries] and [<name>_capacity]
-    are gauges.  These are the numbers the [stats] endpoint and
-    [GET /metrics] report. *)
+    memory-only), [<name>_disk_evictions] (files deleted to keep the
+    tier under its [max_bytes] budget), all counters; [<name>_entries]
+    and [<name>_capacity] are gauges.  These are the numbers the
+    [stats] endpoint and [GET /metrics] report. *)
 
 type 'a persist = {
   dir : string;  (** created (with parents) if missing *)
@@ -42,9 +43,21 @@ type 'a persist = {
   decode : string -> ('a, string) result;
       (** total inverse: corrupt input must be [Error], though a raising
           decoder is also tolerated (treated as [Error]) *)
+  max_bytes : int option;
+      (** byte budget for [dir]; [None] leaves the tier unbounded *)
 }
-(** The disk-tier configuration: where files live and how values
-    serialize.  [decode (encode v)] must be [Ok v]. *)
+(** The disk-tier configuration: where files live, how values
+    serialize, and (optionally) how large the tier may grow.
+    [decode (encode v)] must be [Ok v].
+
+    With [max_bytes] set, every successful write re-checks the
+    directory and deletes entry files in oldest-[mtime] order (file
+    name breaks ties) until the tier fits the budget again — the file
+    just written is never deleted, and in-flight temp files are
+    neither counted nor touched.  Each deletion bumps
+    [<name>_disk_evictions].  An evicted entry simply becomes a future
+    miss to recompute: keys are content addresses, so nothing is
+    lost but time. *)
 
 type 'a t
 
@@ -68,7 +81,8 @@ val persistent : 'a t -> bool
 
 val entries : 'a t -> int
 (** Current number of {e memory} entries (≤ {!capacity}); the disk
-    tier is unbounded and uncounted. *)
+    tier is uncounted here (unbounded unless [persist.max_bytes]
+    caps it). *)
 
 val find : 'a t -> string -> 'a option
 (** Look up a key.  A memory hit refreshes its recency and bumps

@@ -2,7 +2,7 @@ module Json = Shades_json.Json
 module Port_graph = Shades_graph.Port_graph
 module Task = Shades_election.Task
 
-let version = 1
+let version = Shades_versions.Versions.wire_protocol
 
 let default_max_frame = 16 * 1024 * 1024
 

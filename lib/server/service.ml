@@ -12,28 +12,29 @@ module Trace = Shades_trace.Trace
 module Codec = Shades_trace.Codec
 module Replay = Shades_trace.Replay
 
-(* Versions folded into the cache keys: bump [advice_version] whenever
-   any scheme's oracle output changes for a fixed graph, so stale
-   cached advice can never be served across a behavioural change; bump
-   [result_version] whenever an engine's execution, a verifier's
-   semantics, or the shape of the stored result JSON changes — cached
-   elect/verify results are replayed verbatim as replies, so their
-   format is part of the contract. *)
-let advice_version = 1
-let result_version = 1
+(* Versions folded into the cache keys — defined once in
+   [Shades_versions.Versions] (bump [advice] whenever any scheme's
+   oracle output changes for a fixed graph, [result] whenever an
+   engine's execution, a verifier's semantics, or the stored result
+   JSON shape changes; cached elect/verify results are replayed
+   verbatim as replies, so their format is part of the contract).  The
+   key grammar lives there too: shadescheck's version-drift rule
+   rejects any re-derivation outside the registry. *)
+module Versions = Shades_versions.Versions
+
+let advice_version = Versions.advice
+let result_version = Versions.result
 
 let default_cache_capacity = 256
 
 let cache_key ~digest ~task =
-  Printf.sprintf "%s/%s/v%d" digest (Task.kind_to_string task) advice_version
+  Versions.advice_key ~digest ~task:(Task.kind_to_string task)
 
 let elect_key ~digest ~task ~engine =
-  Printf.sprintf "%s/%s/elect-%s/v%d.%d" digest (Task.kind_to_string task)
-    engine advice_version result_version
+  Versions.elect_key ~digest ~task:(Task.kind_to_string task) ~engine
 
 let verify_key ~digest ~task ~outputs_digest =
-  Printf.sprintf "%s/%s/verify-%s/v%d" digest (Task.kind_to_string task)
-    outputs_digest result_version
+  Versions.verify_key ~digest ~task:(Task.kind_to_string task) ~outputs_digest
 
 type advice_entry = { advice : Bitstring.t; rounds : int }
 
@@ -56,9 +57,10 @@ type t = {
    total: any unreadable file is an [Error] (counted by the cache as
    [disk_invalid]) and behaves as a miss. *)
 
-let advice_persist dir =
+let advice_persist ?max_bytes dir =
   {
-    Cache.dir = Filename.concat dir "advice";
+    Cache.max_bytes;
+    dir = Filename.concat dir "advice";
     encode =
       (fun { advice; rounds } ->
         Json.to_string
@@ -80,16 +82,19 @@ let advice_persist dir =
             | _ -> Error "advice entry needs \"advice\" and \"rounds\""));
   }
 
-let result_persist dir =
+let result_persist ?max_bytes dir =
   {
-    Cache.dir = Filename.concat dir "results";
+    Cache.max_bytes;
+    dir = Filename.concat dir "results";
     encode = Json.to_string;
     decode = Json.of_string;
   }
 
-let create ?(cache_capacity = default_cache_capacity) ?cache_dir () =
+let create ?(cache_capacity = default_cache_capacity) ?cache_dir
+    ?cache_max_bytes () =
   let metrics = Metrics.create () in
-  let persist mk = Option.map mk cache_dir in
+  (* the byte budget bounds each tier directory independently *)
+  let persist mk = Option.map (mk ?max_bytes:cache_max_bytes) cache_dir in
   {
     metrics;
     advice =
@@ -485,7 +490,7 @@ let verify_trace t req =
         match Protocol.hex_decode hex with
         | Ok blob -> blob
         | Error e -> failwith ("bad trace hex: " ^ e))
-    | _ -> failwith "\"trace\" must be a hex string of an SHTR file"
+    | _ -> failwith "\"trace\" must be a hex string of a shades trace (.shtr) file"
   in
   let trace =
     match Codec.decode blob with

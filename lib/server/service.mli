@@ -63,13 +63,17 @@ type t
 val default_cache_capacity : int
 (** 256 entries (memory tier, per cache). *)
 
-val create : ?cache_capacity:int -> ?cache_dir:string -> unit -> t
+val create :
+  ?cache_capacity:int -> ?cache_dir:string -> ?cache_max_bytes:int -> unit -> t
 (** A fresh service with empty advice and result caches of
     [cache_capacity] (default {!default_cache_capacity}) memory
     entries each.  [cache_dir] attaches the persistent disk tier
     (created if missing, reused — including its contents — if not):
     advice under [<cache_dir>/advice], elect/verify results under
-    [<cache_dir>/results]. *)
+    [<cache_dir>/results].  [cache_max_bytes] bounds {e each} tier
+    directory: a write that pushes a tier past the budget deletes its
+    oldest files (by mtime) until it fits, counting
+    [*_disk_evictions] — see {!Cache.persist}. *)
 
 val metrics : t -> Shades_runtime.Metrics.t
 (** The service's telemetry registry (live; snapshot at will). *)

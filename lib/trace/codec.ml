@@ -3,10 +3,12 @@ module W = Shades_bits.Writer
 module R = Shades_bits.Reader
 
 (* Version 2 added the [Crash] event (tag 7) for adversarial fault
-   plans; version bumps require re-blessing the committed trace
-   baselines (`trace bless -b BENCH_tiny/traces`). *)
-let format_version = 2
-let magic = "SHTR"
+   plans; version bumps happen in Shades_versions.Versions (the
+   registry shadescheck's version-drift rule enforces) and require
+   re-blessing the committed trace baselines
+   (`trace bless -b BENCH_tiny/traces`). *)
+let format_version = Shades_versions.Versions.trace_format
+let magic = Shades_versions.Versions.shtr_magic
 let header_bytes = String.length magic + 1 + 8 (* magic, version, bit length *)
 
 (* --- event bodies: 3-bit constructor tag + gamma-coded fields --- *)

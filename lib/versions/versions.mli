@@ -1,0 +1,61 @@
+(** The declarative registry of every format/version stamp in the
+    repository, and of the cache-key derivations that embed them.
+
+    Everything the gating story relies on — byte-identical traces,
+    content-addressed caches, versioned stores — ultimately hangs on a
+    handful of small integers: bump one without re-deriving every key
+    that folds it in and a stale cache entry can be served across a
+    behavioural change.  This module is the single source of truth;
+    shadescheck's [version-drift] rule rejects any stamp literal or
+    key-derivation string spelled outside [lib/versions], so a bump
+    here can never silently leave a stale derivation behind.
+
+    {2 Stamps} *)
+
+val trace_format : int
+(** SHTR binary trace layout ({!Shades_trace.Codec.format_version} is
+    this value re-exported).  Bump on any layout change. *)
+
+val store_schema : int
+(** Results-store JSON schema ({!Shades_runtime.Store.schema_version}
+    re-exports it).  Bump when the record or manifest shape changes. *)
+
+val wire_protocol : int
+(** The daemon's framed-JSONL protocol
+    ({!Shades_server.Protocol.version} re-exports it). *)
+
+val advice : int
+(** Oracle-output stamp, folded into advice {e and} elect keys: bump
+    whenever any scheme's oracle output changes for a fixed graph. *)
+
+val result : int
+(** Engine/referee stamp, folded into elect {e and} verify keys: bump
+    whenever an engine's execution, a verifier's semantics, or the
+    stored result JSON shape changes — cached results are replayed
+    verbatim as replies, so their format is part of the contract. *)
+
+val lint_report : int
+(** shadescheck's JSON findings-report schema. *)
+
+val shtr_magic : string
+(** The four magic bytes opening every SHTR trace file. *)
+
+(** {2 Key derivations}
+
+    The full cache-key grammar (DESIGN §13); [task] and [engine] are
+    the wire spellings ([s]/[pe]/[ppe]/[cppe], [sync]/[sharded]/
+    [async-s<seed>]).  Every construction of a cache key goes through
+    these three functions — the [version-drift] rule flags any
+    re-derivation elsewhere. *)
+
+val advice_key : digest:string -> task:string -> string
+(** [<canon-digest>/<task>/v<advice>] — keyed on the {e canonical}
+    digest, because advice is isomorphism-invariant. *)
+
+val elect_key : digest:string -> task:string -> engine:string -> string
+(** [<enc-digest>/<task>/elect-<engine>/v<advice>.<result>] — keyed on
+    the digest of the graph {e as submitted}, because per-node outputs
+    are indexed by the submitter's vertex numbering. *)
+
+val verify_key : digest:string -> task:string -> outputs_digest:string -> string
+(** [<enc-digest>/<task>/verify-<outputs_digest>/v<result>]. *)

@@ -286,6 +286,291 @@ let test_json_roundtrip () =
             [ "rule"; "severity"; "file"; "line"; "col"; "message" ])
         findings
 
+(* --- domain-safety capture analysis (race-risk / race-smell) --- *)
+
+let race_rules = [ "race-risk"; "race-smell" ]
+
+let spawn_fixture body =
+  ( "lib/fix.ml",
+    "let m = Mutex.create ()\n\
+     let sref = ref 0\n\
+     let stbl : (int, int) Hashtbl.t = Hashtbl.create 4\n\
+     let _use () = (m, sref, stbl)\n\
+     let go () =\n\
+    \  let d =\n\
+    \    Domain.spawn (fun () ->\n\
+    \      let lref = ref 0 in\n\
+    \      let ltbl : (int, int) Hashtbl.t = Hashtbl.create 4 in\n\
+    \      ignore (lref, ltbl);\n\
+    \      " ^ body ^ ")\n\
+    \  in\n\
+    \  Domain.join d\n" )
+
+let test_race_risk () =
+  let bad = report ~rules:race_rules [ spawn_fixture "sref := 1" ] in
+  Alcotest.(check (list string)) "unguarded shared write is race-risk"
+    [ "race-risk" ] (rules_of bad);
+  Alcotest.(check int) "race-risk exits 1" 1 (Lint.exit_code (Ok bad));
+  let protected =
+    report ~rules:race_rules
+      [ spawn_fixture "Mutex.protect m (fun () -> sref := 1)" ]
+  in
+  Alcotest.(check (list string)) "Mutex.protect mediates" []
+    (rules_of protected);
+  let locked =
+    report ~rules:race_rules
+      [ spawn_fixture "Mutex.lock m;\n      sref := 1;\n      Mutex.unlock m" ]
+  in
+  Alcotest.(check (list string)) "a lock..unlock sequence mediates" []
+    (rules_of locked);
+  let local = report ~rules:race_rules [ spawn_fixture "lref := 1" ] in
+  Alcotest.(check (list string)) "closure-local state is free" []
+    (rules_of local)
+
+let test_race_smell () =
+  let smell = report ~rules:race_rules [ spawn_fixture "ignore !sref" ] in
+  Alcotest.(check (list string)) "unguarded shared read is race-smell"
+    [ "race-smell" ] (rules_of smell);
+  (* a smell is a warning: surfaced, never blocking *)
+  Alcotest.(check int) "race-smell alone exits 0" 0
+    (Lint.exit_code (Ok smell));
+  let atomic =
+    report ~rules:race_rules
+      [
+        ( "lib/fix.ml",
+          "let hits = Atomic.make 0\n\
+           let go () =\n\
+          \  let d = Domain.spawn (fun () -> Atomic.incr hits) in\n\
+          \  Domain.join d\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "Atomic state is mediation" []
+    (rules_of atomic)
+
+let test_race_slots () =
+  (* the disjoint-slot idiom: writes through a variable index are the
+     blessed fan-out pattern; a constant index is a plain shared write *)
+  let crew_stub =
+    "module Crew = struct\n\
+    \  let submit _t f = f ()\n\
+    \  let run_all _t fs = Array.iter (fun f -> f ()) fs\n\
+     end\n"
+  in
+  let slots =
+    report ~rules:race_rules
+      [
+        ( "lib/fix.ml",
+          crew_stub
+          ^ "let fan crew out = Crew.run_all crew (Array.init 4 (fun i () -> \
+             out.(i) <- i))\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "variable-index slot write allowed" []
+    (rules_of slots);
+  let stomp =
+    report ~rules:race_rules
+      [
+        ( "lib/fix.ml",
+          crew_stub
+          ^ "let first = Array.make 4 0\n\
+             let fan crew = Crew.run_all crew (Array.init 4 (fun _ () -> \
+             first.(0) <- 7))\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "constant-index write is race-risk"
+    [ "race-risk" ] (rules_of stomp)
+
+let test_race_named_helper () =
+  (* the sharded-engine shape: the crew argument is only a partial
+     application of a named phase function; the analysis resolves the
+     name through the unit's binding table and walks its body *)
+  let r =
+    report ~rules:race_rules
+      [
+        ( "lib/fix.ml",
+          "module Crew = struct\n\
+          \  let run_all _t fs = Array.iter (fun f -> f ()) fs\n\
+           end\n\
+           let seen : (string, int) Hashtbl.t = Hashtbl.create 4\n\
+           let note name = Hashtbl.replace seen name 1\n\
+           let go crew names =\n\
+          \  Crew.run_all crew (Array.map (fun n () -> note n) names)\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "write inside resolved helper flagged"
+    [ "race-risk" ] (rules_of r)
+
+(* the same lattice, property-style: every (guard, place, access)
+   combination must flag exactly when the access is shared and
+   unguarded — write as risk, read as smell *)
+
+let capture_combos =
+  List.concat_map
+    (fun guard ->
+      List.concat_map
+        (fun place ->
+          List.map (fun access -> (guard, place, access))
+            [ `RefWrite; `RefRead; `TblWrite ])
+        [ `Shared; `Local ])
+    [ `Unguarded; `Protect; `LockSeq ]
+
+let combo_to_string (guard, place, access) =
+  Printf.sprintf "(%s, %s, %s)"
+    (match guard with
+    | `Unguarded -> "unguarded"
+    | `Protect -> "protect"
+    | `LockSeq -> "lock-seq")
+    (match place with `Shared -> "shared" | `Local -> "local")
+    (match access with
+    | `RefWrite -> "ref-write"
+    | `RefRead -> "ref-read"
+    | `TblWrite -> "tbl-write")
+
+let capture_fixture (guard, place, access) =
+  let rname = match place with `Shared -> "sref" | `Local -> "lref" in
+  let tname = match place with `Shared -> "stbl" | `Local -> "ltbl" in
+  let acc =
+    match access with
+    | `RefWrite -> rname ^ " := 1"
+    | `RefRead -> "ignore !" ^ rname
+    | `TblWrite -> "Hashtbl.replace " ^ tname ^ " 0 1"
+  in
+  let body =
+    match guard with
+    | `Unguarded -> acc
+    | `Protect -> "Mutex.protect m (fun () -> " ^ acc ^ ")"
+    | `LockSeq -> "Mutex.lock m;\n      " ^ acc ^ ";\n      Mutex.unlock m"
+  in
+  spawn_fixture body
+
+let capture_expected (guard, place, access) =
+  match (guard, place) with
+  | `Unguarded, `Shared -> (
+      match access with
+      | `RefWrite | `TblWrite -> [ "race-risk" ]
+      | `RefRead -> [ "race-smell" ])
+  | _ -> []
+
+let capture_property =
+  QCheck.Test.make ~name:"capture lattice: flags iff shared and unguarded"
+    ~count:(List.length capture_combos)
+    (QCheck.make ~print:combo_to_string
+       (QCheck.Gen.oneofl capture_combos))
+    (fun combo ->
+      let r = report ~rules:race_rules [ capture_fixture combo ] in
+      rules_of r = capture_expected combo)
+
+(* --- version-stamp consistency (version-drift) --- *)
+
+let test_version_drift () =
+  let pinned =
+    report ~rules:[ "version-drift" ]
+      [ ("lib/codecish.ml", "let format_version = 3\n") ]
+  in
+  Alcotest.(check (list string)) "literal stamp outside registry flagged"
+    [ "version-drift" ] (rules_of pinned);
+  Alcotest.(check int) "drift exits 1" 1 (Lint.exit_code (Ok pinned));
+  let aliased =
+    report ~rules:[ "version-drift" ]
+      [
+        ( "lib/codecish.ml",
+          "module Registry = struct let trace_format = 3 end\n\
+           let format_version = Registry.trace_format\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "registry alias is the blessed spelling" []
+    (rules_of aliased);
+  (* a hand-rolled cache-key derivation: the acceptance scenario — the
+     doctored sprintf must fail naming the rule and the location *)
+  let doctored =
+    report ~rules:[ "version-drift" ]
+      [
+        ( "lib/keys.ml",
+          "let elect_key d = Printf.sprintf \"%s/elect-seq/v%d\" d 1\n" );
+      ]
+  in
+  (match doctored.Report.findings with
+  | [] -> Alcotest.fail "hand-rolled derivation must be flagged"
+  | f :: _ ->
+      Alcotest.(check string) "rule named" "version-drift" f.Finding.rule;
+      Alcotest.(check string) "file named" "lib/keys.ml" f.Finding.file;
+      Alcotest.(check int) "location is the literal's line" 1 f.Finding.line;
+      Alcotest.(check bool) "message names the marker" true
+        (contains_sub f.Finding.message "/elect-"));
+  Alcotest.(check int) "doctored derivation exits 1" 1
+    (Lint.exit_code (Ok doctored));
+  (* the registry itself is exempt: literals are its whole job *)
+  let registry =
+    report ~rules:[ "version-drift" ]
+      [
+        ( "lib/versions/versions.ml",
+          "let advice_version = 1\n\
+           let advice_key d t = Printf.sprintf \"%s/%s/v%d\" d t \
+           advice_version\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "lib/versions is exempt" []
+    (rules_of registry)
+
+(* --- SARIF emitter --- *)
+
+let test_sarif () =
+  let r =
+    report ~rules:race_rules
+      [ spawn_fixture "sref := 1"; ("lib/fix2.ml", "let x = 1\n") ]
+  in
+  let selected =
+    match Lint.select (Some race_rules) with
+    | Ok rs -> rs
+    | Error e -> Alcotest.failf "selection failed: %s" e
+  in
+  let sarif = Report.to_sarif ~rules:selected r in
+  match Json.of_string (Json.to_string sarif) with
+  | Error e -> Alcotest.failf "SARIF does not reparse: %s" e
+  | Ok parsed ->
+      Alcotest.(check (option string)) "SARIF version" (Some "2.1.0")
+        (match Json.member "version" parsed with
+        | Some (Json.String v) -> Some v
+        | _ -> None);
+      let run =
+        match Json.member "runs" parsed with
+        | Some (Json.List [ run ]) -> run
+        | _ -> Alcotest.fail "exactly one run expected"
+      in
+      let driver =
+        match Json.member "tool" run with
+        | Some tool -> (
+            match Json.member "driver" tool with
+            | Some d -> d
+            | None -> Alcotest.fail "driver missing")
+        | None -> Alcotest.fail "tool missing"
+      in
+      Alcotest.(check (option string)) "driver name" (Some "shadescheck")
+        (match Json.member "name" driver with
+        | Some (Json.String n) -> Some n
+        | _ -> None);
+      (match Json.member "rules" driver with
+      | Some (Json.List rules) ->
+          Alcotest.(check int) "selected rules as driver metadata"
+            (List.length selected) (List.length rules)
+      | _ -> Alcotest.fail "driver rules missing");
+      let results =
+        match Json.member "results" run with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "results missing"
+      in
+      Alcotest.(check int) "one result per finding"
+        (List.length r.Report.findings)
+        (List.length results);
+      List.iter
+        (fun res ->
+          List.iter
+            (fun k ->
+              if Json.member k res = None then
+                Alcotest.failf "result lacks %S member" k)
+            [ "ruleId"; "level"; "message"; "locations" ])
+        results
+
 (* --- the shipped tree itself --- *)
 
 let test_self_check () =
@@ -322,6 +607,16 @@ let () =
           Alcotest.test_case "missing-mli" `Quick test_missing_mli;
           Alcotest.test_case "locality" `Quick test_locality;
         ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "race-risk" `Quick test_race_risk;
+          Alcotest.test_case "race-smell" `Quick test_race_smell;
+          Alcotest.test_case "disjoint slots" `Quick test_race_slots;
+          Alcotest.test_case "named helper" `Quick test_race_named_helper;
+          QCheck_alcotest.to_alcotest capture_property;
+        ] );
+      ( "version-drift",
+        [ Alcotest.test_case "stamp consistency" `Quick test_version_drift ] );
       ( "suppression",
         [ Alcotest.test_case "allow grammar" `Quick test_suppression ] );
       ( "driver",
@@ -330,6 +625,7 @@ let () =
           Alcotest.test_case "exit-code contract" `Quick test_exit_codes;
           Alcotest.test_case "JSON report round-trip" `Quick
             test_json_roundtrip;
+          Alcotest.test_case "SARIF emitter" `Quick test_sarif;
         ] );
       ( "self",
         [ Alcotest.test_case "shipped lib/ is clean" `Quick test_self_check ] );

@@ -190,9 +190,10 @@ let rec rm_rf path =
   | _ -> Sys.remove path
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let int_persist dir =
+let int_persist ?max_bytes dir =
   {
-    Cache.dir;
+    Cache.max_bytes;
+    dir;
     encode = string_of_int;
     decode =
       (fun s ->
@@ -290,6 +291,147 @@ let test_cache_corrupt_files () =
       in
       Alcotest.(check (option int)) "raising decoder is a miss" None
         (Cache.find c3 "k"))
+
+let test_cache_disk_budget () =
+  let dir = fresh_dir "shades-cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* two one-byte values fit the two-byte budget exactly *)
+      let m = Metrics.create () in
+      let c =
+        Cache.create ~name:"p"
+          ~persist:(int_persist ~max_bytes:2 dir)
+          ~capacity:8 ~metrics:m ()
+      in
+      Cache.put c "a" 1;
+      Cache.put c "b" 2;
+      Alcotest.(check int) "within budget: nothing evicted" 0
+        (counter m "p_disk_evictions");
+      (* age the files so the eviction order is deterministic even on
+         coarse-mtime filesystems *)
+      let now = Unix.gettimeofday () in
+      Unix.utimes (Filename.concat dir "a") (now -. 100.) (now -. 100.);
+      Unix.utimes (Filename.concat dir "b") (now -. 50.) (now -. 50.);
+      Cache.put c "c" 3;
+      Alcotest.(check int) "oldest file evicted" 1
+        (counter m "p_disk_evictions");
+      Alcotest.(check bool) "a is gone from disk" false
+        (Sys.file_exists (Filename.concat dir "a"));
+      Alcotest.(check bool) "b survives" true
+        (Sys.file_exists (Filename.concat dir "b"));
+      Alcotest.(check bool) "the fresh write is never the victim" true
+        (Sys.file_exists (Filename.concat dir "c"));
+      (* the memory tier still answers for the trimmed key... *)
+      Alcotest.(check (option int)) "memory still has a" (Some 1)
+        (Cache.find c "a");
+      (* ...but a restart sees only what the budget kept *)
+      let m2 = Metrics.create () in
+      let c2 =
+        Cache.create ~name:"p"
+          ~persist:(int_persist ~max_bytes:2 dir)
+          ~capacity:8 ~metrics:m2 ()
+      in
+      Alcotest.(check (option int)) "a is a miss after restart" None
+        (Cache.find c2 "a");
+      Alcotest.(check (option int)) "b is a disk hit" (Some 2)
+        (Cache.find c2 "b"))
+
+(* The stampeding half of the shared --cache-dir test below: the test
+   re-executes this binary with SHADES_CACHE_CHILD set (Unix.fork is
+   off the table once any test has spawned a domain), and this loop
+   hammers the shared keyspace where the value is a pure function of
+   the key, re-reading through a cold cache every 25 iterations so the
+   disk tier — not the private memory tier — answers.  Any torn or
+   wrong read turns into a nonzero exit status. *)
+let shared_dir_keys = 17
+let shared_dir_value k = (k * 1000) + 7
+
+let shared_dir_child dir seed =
+  let ok = ref true in
+  (try
+     let c =
+       Cache.create ~name:"w" ~persist:(int_persist dir) ~capacity:4
+         ~metrics:(Metrics.create ()) ()
+     in
+     for i = 0 to 399 do
+       let k = (i + seed) mod shared_dir_keys in
+       let key = "k" ^ string_of_int k in
+       Cache.put c key (shared_dir_value k);
+       (match Cache.find c key with
+       | Some v when v <> shared_dir_value k -> ok := false
+       | _ -> ());
+       if i mod 25 = 0 then begin
+         let r =
+           Cache.create ~name:"r" ~persist:(int_persist dir) ~capacity:4
+             ~metrics:(Metrics.create ()) ()
+         in
+         for j = 0 to shared_dir_keys - 1 do
+           match Cache.find r ("k" ^ string_of_int j) with
+           | Some v -> if v <> shared_dir_value j then ok := false
+           | None -> () (* not written yet: a miss, never garbage *)
+         done
+       end
+     done
+   with _ -> ok := false);
+  if !ok then 0 else 1
+
+let test_cache_shared_dir () =
+  let dir = fresh_dir "shades-cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* two daemons on one --cache-dir: write-then-rename atomicity
+         means a reader sees a whole value or nothing, concurrent
+         writers never tear each other's files, and no temp litter is
+         left behind *)
+      let keys = shared_dir_keys in
+      let value_of = shared_dir_value in
+      let spawn seed =
+        let env =
+          Array.append (Unix.environment ())
+            [|
+              "SHADES_CACHE_CHILD=" ^ dir;
+              "SHADES_CACHE_SEED=" ^ string_of_int seed;
+            |]
+        in
+        Unix.create_process_env Sys.executable_name
+          [| Sys.executable_name |]
+          env Unix.stdin Unix.stdout Unix.stderr
+      in
+      let pids = [ spawn 0; spawn 9 ] in
+      List.iter
+        (fun pid ->
+          match Unix.waitpid [] pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, _ -> Alcotest.fail "child saw a torn or wrong cache read")
+        pids;
+      (* no temp litter survives the stampede *)
+      let has_sub hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+        at 0
+      in
+      Array.iter
+        (fun f ->
+          if has_sub f ".tmp." then
+            Alcotest.failf "temp litter left behind: %s" f)
+        (Sys.readdir dir);
+      (* a fresh cache serves every key from disk, intact *)
+      let m = Metrics.create () in
+      let c =
+        Cache.create ~name:"f" ~persist:(int_persist dir) ~capacity:32
+          ~metrics:m ()
+      in
+      for k = 0 to keys - 1 do
+        Alcotest.(check (option int))
+          (Printf.sprintf "k%d intact after the stampede" k)
+          (Some (value_of k))
+          (Cache.find c ("k" ^ string_of_int k))
+      done;
+      Alcotest.(check int) "every answer came off disk" keys
+        (counter m "f_disk_hits");
+      Alcotest.(check int) "no invalid files" 0 (counter m "f_disk_invalid"))
 
 (* --- service (no sockets) --- *)
 
@@ -918,6 +1060,19 @@ let test_daemon_http_and_batch () =
     "both socket files removed on shutdown" false
     (Sys.file_exists socket || Sys.file_exists http_path)
 
+(* child mode: the shared --cache-dir test re-executes this binary
+   with SHADES_CACHE_CHILD set; run the stampede and exit before
+   Alcotest ever sees argv *)
+let () =
+  match Sys.getenv_opt "SHADES_CACHE_CHILD" with
+  | Some dir ->
+      let seed =
+        Option.value ~default:0
+          (Option.bind (Sys.getenv_opt "SHADES_CACHE_SEED") int_of_string_opt)
+      in
+      exit (shared_dir_child dir seed)
+  | None -> ()
+
 let () =
   Alcotest.run "shades_server"
     [
@@ -936,6 +1091,8 @@ let () =
           Alcotest.test_case "concurrent hammering" `Quick test_cache_concurrent;
           Alcotest.test_case "disk tier" `Quick test_cache_persistence;
           Alcotest.test_case "corrupt files" `Quick test_cache_corrupt_files;
+          Alcotest.test_case "disk budget" `Quick test_cache_disk_budget;
+          Alcotest.test_case "shared cache dir" `Quick test_cache_shared_dir;
         ] );
       ( "service",
         [
